@@ -1,0 +1,18 @@
+"""Shared helpers for the figure/table benchmarks."""
+
+import math
+
+
+def run_figure(benchmark, runner, scale_name: str, seed: int = 1):
+    """Benchmark one figure runner once and print its table."""
+    result = benchmark.pedantic(
+        runner, kwargs={"scale": scale_name, "seed": seed}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+    return result
+
+
+def finite(values):
+    """The finite entries of a metric column."""
+    return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]

@@ -1,0 +1,23 @@
+"""Figure 6: MSE vs query cost for C&R, BOOL- and HD-UNBIASED-SIZE."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig06
+
+
+def test_fig06_mse_vs_cost(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig06, scale_name)
+    assert len(result.rows) >= 4
+    # Paper shape: at the largest budget the unbiased estimators beat
+    # capture-recapture by orders of magnitude on both datasets.
+    last = result.rows[-1]
+    cols = result.columns
+    cr_iid = last[cols.index("MSE[C&R-iid]")]
+    hd_iid = last[cols.index("MSE[HD-iid]")]
+    cr_mixed = last[cols.index("MSE[C&R-mixed]")]
+    hd_mixed = last[cols.index("MSE[HD-mixed]")]
+    assert hd_iid < cr_iid
+    assert hd_mixed < cr_mixed
+    # MSE on the skewed dataset exceeds the iid one for HD (Section 6.2).
+    assert hd_mixed > hd_iid
+    assert finite(result.column("MSE[HD-iid]"))

@@ -1,0 +1,18 @@
+"""Figure 7: relative error vs query cost for the unbiased estimators."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig07
+
+
+def test_fig07_relative_error(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig07, scale_name)
+    cols = result.columns
+    last = result.rows[-1]
+    # Paper shape: both estimators end in single-digit percent error, and
+    # the error at the final budget is below the error at the first budget
+    # that produced an estimate.
+    hd_iid_errors = finite(result.column("relerr%[HD-iid]"))
+    assert hd_iid_errors, "HD produced no estimates"
+    assert last[cols.index("relerr%[HD-iid]")] <= 15.0
+    assert min(hd_iid_errors) == hd_iid_errors[-1] or hd_iid_errors[-1] <= 2 * min(hd_iid_errors)

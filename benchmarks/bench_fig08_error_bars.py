@@ -1,0 +1,16 @@
+"""Figure 8: error bars (mean +/- std of relative size) for HD-UNBIASED."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig08
+
+
+def test_fig08_error_bars(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig08, scale_name)
+    # Paper shape: relative size hovers around 1.0 and the bars shrink with
+    # budget (compare the first and last rows with data).
+    rel = finite(result.column("relsize[HD-iid]"))
+    std = finite(result.column("std[HD-iid]"))
+    assert rel and std
+    assert 0.5 <= rel[-1] <= 1.5
+    assert std[-1] <= std[0] * 1.5  # generally shrinking (noise-tolerant)

@@ -1,0 +1,13 @@
+"""Figure 9: SUM relative error vs query cost."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig09
+
+
+def test_fig09_sum_relative_error(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig09, scale_name)
+    errors = finite(result.column("relerr%[HD-iid]"))
+    assert errors
+    # SUM behaves like COUNT (paper: "observations are similar").
+    assert errors[-1] <= 15.0

@@ -1,0 +1,12 @@
+"""Figure 10: SUM error bars for HD-UNBIASED-AGG."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig10
+
+
+def test_fig10_sum_error_bars(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig10, scale_name)
+    rel = finite(result.column("relsum[HD-iid]"))
+    assert rel
+    assert 0.5 <= rel[-1] <= 1.5

@@ -1,0 +1,14 @@
+"""Figure 11: MSE vs database size m."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig11
+
+
+def test_fig11_mse_vs_m(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig11, scale_name)
+    mses = finite(result.column("MSE[HD-iid]"))
+    assert len(mses) == len(result.rows)
+    # Paper shape: MSE grows (roughly linearly) with m — the largest m
+    # should not have a smaller MSE than the smallest m by more than noise.
+    assert mses[-1] >= mses[0] * 0.2

@@ -1,0 +1,16 @@
+"""Figure 12: session query cost vs database size m."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig12
+
+
+def test_fig12_cost_vs_m(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig12, scale_name)
+    costs = finite(result.column("cost[HD-iid]"))
+    assert costs
+    # Paper shape: cost grows with m (deeper top-valid nodes).
+    assert costs[-1] >= costs[0]
+    # And iid/mixed costs track each other closely (paper: "always equal").
+    mixed = finite(result.column("cost[HD-mixed]"))
+    assert mixed and abs(mixed[-1] - costs[-1]) / costs[-1] < 1.0

@@ -1,0 +1,15 @@
+"""Figure 13: effect of the page size k on MSE and query cost."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig13
+
+
+def test_fig13_effect_of_k(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig13, scale_name)
+    costs = finite(result.column("query_cost"))
+    mses = finite(result.column("MSE"))
+    assert costs and mses
+    # Paper shape: larger k -> fewer queries and lower MSE.
+    assert costs[-1] <= costs[0]
+    assert mses[-1] <= mses[0] * 2.0  # noise-tolerant downward trend

@@ -1,0 +1,17 @@
+"""Figure 14: WA x D&C ablation on the Yahoo! Auto dataset."""
+
+from _bench_utils import run_figure
+
+from repro.experiments.figures import run_fig14
+
+
+def test_fig14_ablation(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig14, scale_name)
+    cols = result.columns
+    last = result.rows[-1]
+    full = last[cols.index("MSE[w/ D&C, w/ WA]")]
+    neither = last[cols.index("MSE[w/o D&C, w/o WA]")]
+    # Paper shape: the full estimator has the lowest MSE of the four
+    # variants at the final budget (allow noise against the runner-up, but
+    # require a clear win over the no-technique variant).
+    assert full < neither

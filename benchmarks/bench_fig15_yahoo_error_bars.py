@@ -1,0 +1,12 @@
+"""Figure 15: error bars of the full estimator on Yahoo! Auto."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig15
+
+
+def test_fig15_yahoo_error_bars(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig15, scale_name)
+    rel = finite(result.column("relsize"))
+    assert rel
+    assert 0.4 <= rel[-1] <= 1.6  # paper bars span ~0.5..1.3 early on

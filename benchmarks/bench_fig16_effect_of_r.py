@@ -1,0 +1,13 @@
+"""Figure 16: effect of r (drill downs per subtree)."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig16
+
+
+def test_fig16_effect_of_r(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig16, scale_name)
+    costs = finite(result.column("query_cost"))
+    assert costs
+    # Paper shape: larger r issues more queries per session.
+    assert costs[-1] >= costs[0]

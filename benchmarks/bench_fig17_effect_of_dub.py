@@ -1,0 +1,16 @@
+"""Figure 17: effect of D_UB (subtree domain bound)."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig17
+
+
+def test_fig17_effect_of_dub(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig17, scale_name)
+    costs = finite(result.column("query_cost"))
+    mses = finite(result.column("MSE"))
+    assert costs and mses
+    # Paper shape: larger D_UB -> fewer queries...
+    assert costs[-1] <= costs[0]
+    # ... but higher MSE (noise-tolerant).
+    assert mses[-1] >= mses[0] * 0.5

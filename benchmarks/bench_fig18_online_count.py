@@ -1,0 +1,16 @@
+"""Figure 18: ten online executions estimating COUNT(Toyota Corolla)."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_fig18
+
+
+def test_fig18_online_count(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig18, scale_name)
+    assert len(result.rows) == 10
+    truth = result.rows[0][result.columns.index("true_count")]
+    estimates = finite(result.column("count_estimate"))
+    # Paper shape: per-execution estimates scatter around the disclosed
+    # count; their mean lands within a factor of 2.
+    mean = sum(estimates) / len(estimates)
+    assert truth * 0.5 <= mean <= truth * 2.0

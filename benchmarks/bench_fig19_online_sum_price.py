@@ -1,0 +1,17 @@
+"""Figure 19: online SUM(PRICE) for five popular models."""
+
+from _bench_utils import run_figure
+
+from repro.experiments.figures import run_fig19
+
+
+def test_fig19_online_sum_price(benchmark, scale_name):
+    result = run_figure(benchmark, run_fig19, scale_name)
+    assert len(result.rows) == 5
+    cols = result.columns
+    for row in result.rows:
+        estimate = row[cols.index("sum_price_estimate")]
+        truth = row[cols.index("true_sum_price")]
+        # The simulator discloses ground truth (the live site did not);
+        # each model's estimate should land within a factor of 3.
+        assert truth * 0.33 <= estimate <= truth * 3.0, row

@@ -1,0 +1,15 @@
+"""Section 6.2's unnumbered table: MSE/cost tradeoff vs r at matched budgets."""
+
+from _bench_utils import finite, run_figure
+
+from repro.experiments.figures import run_table_r_tradeoff
+
+
+def test_table_r_tradeoff(benchmark, scale_name):
+    result = run_figure(benchmark, run_table_r_tradeoff, scale_name)
+    mses = finite(result.column("MSE"))
+    assert len(mses) == 6
+    # Paper shape: the tradeoff is insensitive to r — no value of r should
+    # be catastrophically worse than the best (paper's spread is ~1.4x;
+    # allow a generous noise margin).
+    assert max(mses) <= 50 * min(m for m in mses if m > 0)

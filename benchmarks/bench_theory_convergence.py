@@ -1,0 +1,45 @@
+"""Validation bench: empirical walk variance converges to Theorem 2.
+
+The paper's variance analysis is exact for the uniform backtracking walk:
+``s² = Σ |q|²/p(q) − m²`` (Theorem 2).  This benchmark measures the sample
+variance of many independent single-walk estimates and checks it against
+the closed form — the tightest end-to-end validation of the walk engine's
+probability accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import theorem2_variance
+from repro.core import BoolUnbiasedSize
+from repro.datasets import boolean_table
+from repro.experiments.config import resolve_scale
+from repro.hidden_db import HiddenDBClient, TopKInterface
+
+
+def test_theorem2_convergence(benchmark, scale_name):
+    scale = resolve_scale(scale_name)
+    probs = [0.5, 0.5, 0.2, 0.3, 0.4, 0.2, 0.3, 0.25, 0.35, 0.45,
+             0.5, 0.15, 0.3, 0.45]
+    table = boolean_table(1_500, probs, seed=91)
+    order = list(range(len(probs)))
+    k = 10
+    walks = 400 * max(1, scale.replications // 4)
+
+    def run():
+        exact = theorem2_variance(table, k, order)
+        values = []
+        for i in range(walks):
+            client = HiddenDBClient(TopKInterface(table, k))
+            estimator = BoolUnbiasedSize(
+                client, attribute_order=order, seed=10_000 + i
+            )
+            values.append(estimator.run_once().value)
+        return exact, float(np.var(values, ddof=1)), float(np.mean(values))
+
+    exact, empirical, mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nTheorem 2 exact variance: {exact:.4e}")
+    print(f"empirical variance ({walks} walks): {empirical:.4e}")
+    print(f"empirical mean: {mean:.1f} (true 1500)")
+    assert empirical == pytest.approx(exact, rel=0.35)
+    assert mean == pytest.approx(1_500, rel=0.15)

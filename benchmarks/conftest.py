@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+configured scale and prints the rows (run pytest with ``-s`` to see them);
+``REPRO_SCALE={tiny,small,paper}`` or ``REPRO_FULL=1`` picks the scale.
+The benchmark timer wraps the whole figure computation, so the suite also
+doubles as a performance regression harness for the estimators.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    """Scale used by every figure benchmark."""
+    if os.environ.get("REPRO_FULL"):
+        return "paper"
+    return os.environ.get("REPRO_SCALE", "small")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Estimator showdown: HD-UNBIASED-SIZE vs the baselines (Figure 6 style).
+
+Runs four size estimators against the same skewed Boolean hidden database
+under the same query budget and reports their final estimates:
+
+* BRUTE-FORCE-SAMPLER     - unbiased, but finds nothing (|Dom| >> m);
+* CAPTURE-&-RECAPTURE     - biased, noisy;
+* BOOL-UNBIASED-SIZE      - unbiased, moderate variance;
+* HD-UNBIASED-SIZE        - unbiased, lowest variance (the paper's system).
+
+Run:  python examples/estimator_showdown.py
+"""
+
+from repro import BoolUnbiasedSize, HDUnbiasedSize, HiddenDBClient, TopKInterface
+from repro.baselines import (
+    BruteForceSampler,
+    CaptureRecaptureEstimator,
+    HiddenDBSampler,
+)
+from repro.datasets import bool_mixed
+from repro.hidden_db import QueryCounter
+
+BUDGET = 500
+M = 20_000
+
+
+def fresh_client(table, cache=True, limit=None):
+    counter = QueryCounter(limit=limit)
+    return HiddenDBClient(
+        TopKInterface(table, k=100, counter=counter), cache=cache
+    )
+
+
+def main() -> None:
+    print(f"Dataset: Bool-mixed, m={M:,}, 40 attributes, k=100, "
+          f"budget {BUDGET} queries per estimator\n")
+    table = bool_mixed(m=M, n=40, seed=1)
+
+    rows = []
+
+    # BRUTE-FORCE-SAMPLER: random fully-specified queries.
+    brute = BruteForceSampler(fresh_client(table, cache=False), seed=2)
+    brute_result = brute.run(attempts=BUDGET)
+    rows.append(("BRUTE-FORCE-SAMPLER", brute_result.estimate,
+                 brute_result.total_cost,
+                 f"{brute_result.hits} hits in {BUDGET} point queries"))
+
+    # CAPTURE-&-RECAPTURE over HIDDEN-DB-SAMPLER.
+    sampler = HiddenDBSampler(
+        fresh_client(table, cache=False, limit=BUDGET), seed=3
+    )
+    cr_result = CaptureRecaptureEstimator(sampler).run(query_budget=BUDGET)
+    rows.append(("CAPTURE-&-RECAPTURE", cr_result.schnabel_estimate,
+                 cr_result.total_cost,
+                 f"{cr_result.samples} samples, {cr_result.distinct} distinct"))
+
+    # BOOL-UNBIASED-SIZE: plain backtracking walks.
+    bool_est = BoolUnbiasedSize(fresh_client(table), seed=4)
+    bool_result = bool_est.run(query_budget=BUDGET)
+    rows.append(("BOOL-UNBIASED-SIZE", bool_result.mean,
+                 bool_result.total_cost,
+                 f"{bool_result.rounds} drill downs"))
+
+    # HD-UNBIASED-SIZE: + weight adjustment + divide-&-conquer.
+    hd_est = HDUnbiasedSize(fresh_client(table), r=4, dub=32, seed=5)
+    hd_result = hd_est.run(query_budget=BUDGET)
+    rows.append(("HD-UNBIASED-SIZE", hd_result.mean,
+                 hd_result.total_cost,
+                 f"{hd_result.rounds} rounds of r=4 walks"))
+
+    print(f"{'estimator':<22} {'estimate':>12} {'rel.err':>9} "
+          f"{'queries':>8}   notes")
+    print("-" * 78)
+    for name, estimate, cost, notes in rows:
+        rel = abs(estimate - M) / M if estimate == estimate else float("nan")
+        print(f"{name:<22} {estimate:>12,.0f} {rel:>8.1%} {cost:>8}   {notes}")
+    print(
+        "\nThe two drill-down estimators bracket the truth; capture-"
+        "recapture is far off\nand brute force found nothing — the paper's "
+        "Figure 6 in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Audit a hidden database's advertised size — the paper's motivating use.
+
+The introduction's scenario: a site advertises "over 30,000 listings!" and
+a third party wants to verify the claim through the search form alone,
+under a realistic query quota.  This script walks the full audit workflow
+with the library's higher-level tools:
+
+1. **calibrate** — spend part of the budget picking (r, D_UB) with the
+   Section-5.1 pilot protocol (:func:`repro.core.suggest_parameters`);
+2. **estimate to a target precision** — ``run_until`` stops as soon as the
+   95% CI half-width is below 5%, which honest CIs (unbiased rounds!)
+   make meaningful;
+3. **verdict** — compare the claim against the interval;
+4. contrast with what a **budgeted crawl** could certify (a lower bound
+   only).
+
+Run:  python examples/size_claim_audit.py
+"""
+
+from repro import HDUnbiasedSize, HiddenDBClient, TopKInterface
+from repro.core import suggest_parameters
+from repro.datasets import yahoo_auto
+from repro.hidden_db import QueryCounter, crawl
+
+ADVERTISED = 30_000
+TRUE_SIZE = 22_000  # the site exaggerates by ~36%
+QUERY_QUOTA = 1_500  # per-IP daily allowance
+PAGE_SIZE = 20  # the form shows 20 results per page
+
+
+def main() -> None:
+    print(f'The site advertises "over {ADVERTISED:,} listings!"')
+    print(f"(secretly, it holds {TRUE_SIZE:,}; we get {QUERY_QUOTA:,} queries)\n")
+    table = yahoo_auto(m=TRUE_SIZE, seed=99)
+    client = HiddenDBClient(
+        TopKInterface(table, k=PAGE_SIZE, counter=QueryCounter(limit=QUERY_QUOTA))
+    )
+
+    # 1. Calibrate.
+    suggestion = suggest_parameters(client, query_budget=QUERY_QUOTA, seed=1)
+    print(f"calibration: picked r={suggestion.r}, D_UB={suggestion.dub} "
+          f"after {suggestion.pilot_cost} pilot queries")
+    for pilot in suggestion.pilots:
+        print(f"  D_UB={pilot.dub:<5} pilot variance {pilot.variance:.3e}  "
+              f"cost/round {pilot.cost_per_round:.0f}")
+
+    # 2. Estimate until the CI is tight (or the quota dies).
+    estimator = HDUnbiasedSize(
+        client, r=suggestion.r, dub=suggestion.dub, seed=2
+    )
+    result = estimator.run_until(
+        target_relative_halfwidth=0.05,
+        query_budget=QUERY_QUOTA - suggestion.pilot_cost,
+    )
+    low, high = result.ci95
+    print(f"\nestimate after {result.rounds} rounds / "
+          f"{suggestion.pilot_cost + result.total_cost} total queries:")
+    print(f"  size = {result.mean:,.0f}   95% CI [{low:,.0f}, {high:,.0f}]")
+
+    # 3. Verdict.
+    if ADVERTISED > high:
+        print(f"  VERDICT: the advertised {ADVERTISED:,} lies ABOVE the CI - "
+              "the claim is not supported.")
+    elif ADVERTISED < low:
+        print(f"  VERDICT: the site *under*-advertises (claim below the CI).")
+    else:
+        print("  VERDICT: the claim is consistent with the estimate.")
+
+    # 4. What a crawl could have certified with the same quota.
+    crawl_client = HiddenDBClient(TopKInterface(table, k=PAGE_SIZE))
+    partial = crawl(
+        crawl_client, max_queries=QUERY_QUOTA, budget_action="partial"
+    )
+    print(f"\nfor comparison, a crawl with the same {QUERY_QUOTA:,}-query "
+          f"quota certifies only\na lower bound of {partial.size:,} tuples "
+          f"(complete={partial.complete}) - useless for auditing an "
+          "over-claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Ablation study: what weight adjustment and divide-&-conquer each buy.
+
+Reproduces the paper's Figure 14 analysis on the categorical Yahoo! Auto
+dataset *and* connects the measurement with the theory layer: the exact
+single-walk variance (Theorem 2) and the worst-case bounds (Theorem 3).
+
+Run:  python examples/variance_reduction_ablation.py
+"""
+
+import numpy as np
+
+from repro import HDUnbiasedSize, HiddenDBClient, TopKInterface
+from repro.analysis import theorem2_variance, theorem3_variance_upper_bound
+from repro.core.partition import free_attribute_order
+from repro.datasets import worst_case, yahoo_auto
+
+VARIANTS = {
+    "w/o D&C, w/o WA": dict(r=1, dub=None, weight_adjustment=False),
+    "w/o D&C, w/ WA": dict(r=1, dub=None, weight_adjustment=True),
+    "w/ D&C,  w/o WA": dict(r=5, dub=16, weight_adjustment=False),
+    "w/ D&C,  w/ WA": dict(r=5, dub=16, weight_adjustment=True),
+}
+
+
+def measure_variants(table, k, rounds, replications):
+    truth = table.num_tuples
+    print(f"{'variant':<18} {'mean estimate':>14} {'MSE':>12} {'queries':>9}")
+    print("-" * 58)
+    for name, params in VARIANTS.items():
+        estimates, costs = [], []
+        for rep in range(replications):
+            client = HiddenDBClient(TopKInterface(table, k))
+            estimator = HDUnbiasedSize(client, seed=rep * 37 + 1, **params)
+            result = estimator.run(rounds=rounds)
+            estimates.append(result.mean)
+            costs.append(result.total_cost)
+        errors = np.asarray(estimates) - truth
+        print(
+            f"{name:<18} {np.mean(estimates):>14,.0f} "
+            f"{np.mean(errors ** 2):>12.3e} {np.mean(costs):>9,.0f}"
+        )
+
+
+def main() -> None:
+    print("=== Yahoo! Auto (10,000 listings, k=100), 10 rounds/session ===")
+    table = yahoo_auto(m=10_000, seed=3)
+    measure_variants(table, k=100, rounds=10, replications=8)
+
+    print("\n=== Why D&C matters: the worst-case database of Figure 4 ===")
+    wc = worst_case(16)
+    order = free_attribute_order(wc.schema)
+    exact = theorem2_variance(wc, 1, order)
+    bound = theorem3_variance_upper_bound(
+        wc.num_tuples, float(wc.schema.domain_size())
+    )
+    print(f"exact single-walk variance (Theorem 2): {exact:.3e}")
+    print(f"Theorem 3 upper bound:                  {bound:.3e}")
+    print("(m = 17 tuples, |Dom| = 2^16: the domain/database mismatch is "
+          "the whole story)")
+    measure_variants(wc, k=1, rounds=10, replications=8)
+
+    print(
+        "\nWeight adjustment helps on realistic skew; divide-&-conquer "
+        "collapses the\nworst case. Together they are HD-UNBIASED-SIZE."
+    )
+
+
+if __name__ == "__main__":
+    main()

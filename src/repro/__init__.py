@@ -1,0 +1,55 @@
+"""hiddendb-repro: unbiased aggregate estimation over hidden web databases.
+
+A full reproduction of Dasgupta, Jin, Jewell, Zhang, Das —
+"Unbiased Estimation of Size and Other Aggregates Over Hidden Web
+Databases", SIGMOD 2010.
+
+The public surface re-exports the pieces most users need::
+
+    from repro import (
+        HDUnbiasedSize, HDUnbiasedAgg, BoolUnbiasedSize,  # estimators
+        TopKInterface, HiddenDBClient,                    # the form
+        Attribute, Schema, HiddenTable, ConjunctiveQuery, # data model
+    )
+
+See :mod:`repro.datasets` for the paper's workloads, :mod:`repro.baselines`
+for the comparison estimators, :mod:`repro.analysis` for the theoretical
+results and :mod:`repro.experiments` for the figure/table harness.
+"""
+
+from repro.core import (
+    BoolUnbiasedSize,
+    EstimationResult,
+    HDUnbiasedAgg,
+    HDUnbiasedSize,
+    RoundEstimate,
+)
+from repro.hidden_db import (
+    Attribute,
+    ConjunctiveQuery,
+    HiddenDBClient,
+    HiddenTable,
+    OnlineFormSimulator,
+    QueryCounter,
+    Schema,
+    TopKInterface,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HDUnbiasedSize",
+    "HDUnbiasedAgg",
+    "BoolUnbiasedSize",
+    "EstimationResult",
+    "RoundEstimate",
+    "Attribute",
+    "Schema",
+    "ConjunctiveQuery",
+    "HiddenTable",
+    "TopKInterface",
+    "HiddenDBClient",
+    "QueryCounter",
+    "OnlineFormSimulator",
+    "__version__",
+]

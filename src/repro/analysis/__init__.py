@@ -1,0 +1,35 @@
+"""Theory layer: exact tree analysis, variance bounds, confidence intervals."""
+
+from repro.analysis.bounds import (
+    corollary1_worst_case_variance,
+    corollary2_weight_adjusted_variance,
+    smart_backtracking_expected_probes,
+    theorem3_variance_upper_bound,
+    theorem4_dnc_variance_ratio,
+)
+from repro.analysis.confidence import (
+    chebyshev_confidence_interval,
+    normal_confidence_interval,
+    rounds_for_relative_error,
+)
+from repro.analysis.enumeration import (
+    TopValidNode,
+    iter_top_valid,
+    theorem2_variance,
+    uniform_walk_probabilities,
+)
+
+__all__ = [
+    "TopValidNode",
+    "iter_top_valid",
+    "uniform_walk_probabilities",
+    "theorem2_variance",
+    "corollary1_worst_case_variance",
+    "corollary2_weight_adjusted_variance",
+    "theorem3_variance_upper_bound",
+    "theorem4_dnc_variance_ratio",
+    "smart_backtracking_expected_probes",
+    "normal_confidence_interval",
+    "chebyshev_confidence_interval",
+    "rounds_for_relative_error",
+]

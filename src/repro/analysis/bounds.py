@@ -1,0 +1,104 @@
+"""Closed-form variance bounds and query-cost formulas from the paper.
+
+Each function implements one numbered result; docstrings cite it.  These are
+*bounds on the paper's idealised quantities* — benchmarks use them to sanity
+check measured variances (e.g. measured single-walk variance must respect
+Theorem 3's upper bound for k = 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "corollary1_worst_case_variance",
+    "corollary2_weight_adjusted_variance",
+    "theorem3_variance_upper_bound",
+    "theorem4_dnc_variance_ratio",
+    "smart_backtracking_expected_probes",
+]
+
+
+def corollary1_worst_case_variance(
+    fanouts: Sequence[int], m: int, k: int
+) -> float:
+    """Corollary 1: worst-case single-walk variance lower bound.
+
+    ``s² > k² · Π_{i=1}^{n-1} |Dom(A_i)| - m²`` for an n-attribute,
+    m-tuple database behind a top-k interface.
+    """
+    if not fanouts:
+        raise ValueError("fanouts must be non-empty")
+    product = 1.0
+    for fanout in list(fanouts)[:-1]:
+        product *= fanout
+    return k * k * product - m * m
+
+
+def corollary2_weight_adjusted_variance(n: int, m: int, r: int) -> float:
+    """Corollary 2: worst-case variance after weight adjustment.
+
+    After r random drill downs,
+    ``s² >= 2^(n - log2 r) · m / (n - log2 r + 1) - m²``.
+    """
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    log_r = math.log2(r)
+    if log_r >= n:
+        return 0.0
+    return (2.0 ** (n - log_r)) * m / (n - log_r + 1) - m * m
+
+
+def theorem3_variance_upper_bound(m: int, domain_size: float) -> float:
+    """Theorem 3: for k = 1, ``s² <= m² (|Dom|/m - 1)``.
+
+    *domain_size* may be a float because |Dom| commonly exceeds 2^63.
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return m * m * (float(domain_size) / m - 1.0)
+
+
+def theorem4_dnc_variance_ratio(r: int, domain_size: float, dub: int) -> float:
+    """Theorem 4: the order of the worst-case variance reduction of D&C.
+
+    ``s²/s²_DC = O(r^log_DUB|Dom| / log_DUB|Dom|)`` — returns the bracketed
+    quantity (up to the hidden constant) so sweeps can compare trends.
+    """
+    if dub < 2:
+        raise ValueError("D_UB must be at least 2")
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    layers = math.log(float(domain_size), dub)
+    if layers <= 0:
+        return 1.0
+    return (r**layers) / layers
+
+
+def smart_backtracking_expected_probes(is_empty: Sequence[bool]) -> float:
+    """Eq. 2: expected number of branch queries at one categorical node.
+
+    ``QC = 1 + Σ_j (w_U(j)+1)²/w`` where ``w_U(j)`` is the length of the
+    circular run of empty branches immediately preceding branch j, and
+    ``w_U(j) = -1`` for empty branches (so they contribute 0).  The paper's
+    Figure 3 example — branches (non-empty, empty, non-empty, empty, empty)
+    — evaluates to 3.6.
+    """
+    empties = [bool(e) for e in is_empty]
+    w = len(empties)
+    if w == 0:
+        raise ValueError("need at least one branch")
+    if all(empties):
+        raise ValueError("an overflowing node cannot have all branches empty")
+    total = 0.0
+    for j, empty in enumerate(empties):
+        if empty:
+            continue
+        run = 0
+        pred = (j - 1) % w
+        while pred != j and empties[pred]:
+            run += 1
+            pred = (pred - 1) % w
+        total += (run + 1) ** 2
+    return 1.0 + total / w

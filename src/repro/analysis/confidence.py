@@ -1,0 +1,67 @@
+"""Confidence machinery for unbiased estimators.
+
+Because the HD-UNBIASED estimates are exactly unbiased, averaging ``t``
+i.i.d. rounds shrinks the MSE as ``s²/t`` and standard concentration bounds
+give honest confidence intervals — the property the paper stresses cannot
+be had from biased samplers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.utils.stats import RunningStats
+
+__all__ = [
+    "normal_confidence_interval",
+    "chebyshev_confidence_interval",
+    "rounds_for_relative_error",
+]
+
+
+def normal_confidence_interval(
+    estimates: Sequence[float], z: float = 1.96
+) -> Tuple[float, float]:
+    """CLT-based interval for the mean of i.i.d. unbiased estimates."""
+    stats = RunningStats()
+    stats.extend(estimates)
+    return stats.confidence_interval(z)
+
+
+def chebyshev_confidence_interval(
+    mean: float, variance_bound: float, rounds: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Distribution-free interval from a variance *bound*.
+
+    With ``Var(round) <= B``, the t-round mean deviates by more than
+    ``sqrt(B/(t·(1-c)))`` with probability at most ``1-c`` (Chebyshev).
+    Useful with the Theorem-3 bound when no empirical variance is trusted.
+    """
+    if not (0 < confidence < 1):
+        raise ValueError("confidence must be in (0, 1)")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if variance_bound < 0:
+        raise ValueError("variance bound must be non-negative")
+    half = math.sqrt(variance_bound / (rounds * (1.0 - confidence)))
+    return (mean - half, mean + half)
+
+
+def rounds_for_relative_error(
+    variance: float, target: float, relative_to: float, confidence: float = 0.95
+) -> int:
+    """Rounds needed so the mean's relative error stays within *target*.
+
+    Normal approximation: ``t >= z² s² / (target·truth)²``.
+    """
+    if target <= 0 or relative_to <= 0:
+        raise ValueError("target and reference must be positive")
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    # Two-sided z for the requested confidence.
+    z = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(round(confidence, 2))
+    if z is None:
+        raise ValueError("supported confidence levels: 0.90, 0.95, 0.99")
+    tolerance = target * relative_to
+    return max(1, math.ceil(z * z * variance / (tolerance * tolerance)))

@@ -1,0 +1,158 @@
+"""Exact query-tree analysis (requires full table access).
+
+These functions see the raw :class:`~repro.hidden_db.table.HiddenTable`
+(no top-k veil, no query charges) and are used for ground truth, for the
+exact-variance formula of Theorem 2, and for verifying that the walker's
+self-reported ``p(q)`` equals the true reaching probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hidden_db.query import ConjunctiveQuery
+from repro.hidden_db.table import HiddenTable
+
+__all__ = [
+    "TopValidNode",
+    "iter_top_valid",
+    "uniform_walk_probabilities",
+    "theorem2_variance",
+]
+
+
+@dataclass(frozen=True)
+class TopValidNode:
+    """One top-valid node of the query tree (Definition 1)."""
+
+    query: ConjunctiveQuery
+    count: int  # |q| = |Sel(q)| (<= k by definition)
+    depth: int  # predicates from the walk root
+
+
+def iter_top_valid(
+    table: HiddenTable,
+    k: int,
+    order: Sequence[int],
+    root: Optional[ConjunctiveQuery] = None,
+) -> Iterator[TopValidNode]:
+    """Enumerate every top-valid node under *root* for page size *k*.
+
+    The walk root itself counts as "overflowing context": if the root is
+    already valid it is yielded as a single node of depth 0 (the degenerate
+    case where a drill down never starts).
+    """
+    start = root if root is not None else ConjunctiveQuery()
+    free = [a for a in order if not start.constrains(a)]
+
+    def recurse(query: ConjunctiveQuery, level: int, depth: int) -> Iterator[TopValidNode]:
+        attr = free[level]
+        fanout = table.schema[attr].domain_size
+        for value in range(fanout):
+            child = query.extended(attr, value)
+            count = table.count(child)
+            if count == 0:
+                continue
+            if count <= k:
+                yield TopValidNode(child, count, depth + 1)
+            else:
+                if level + 1 >= len(free):
+                    raise RuntimeError(
+                        "fully-specified query overflows; duplicate tuples"
+                    )
+                yield from recurse(child, level + 1, depth + 1)
+
+    root_count = table.count(start)
+    if root_count == 0:
+        return
+    if root_count <= k:
+        yield TopValidNode(start, root_count, 0)
+        return
+    yield from recurse(start, 0, 0)
+
+
+def uniform_walk_probabilities(
+    table: HiddenTable,
+    k: int,
+    order: Sequence[int],
+    root: Optional[ConjunctiveQuery] = None,
+) -> Dict[frozenset, Tuple[float, int]]:
+    """True reach probability of every top-valid node for the *uniform*
+    smart-backtracking walk (no weight adjustment, no divide-&-conquer).
+
+    Returns ``{query key: (probability, count)}``.  The probability of
+    landing on a non-empty branch j of a node is ``(w_U(j)+1)/w`` where
+    ``w_U(j)`` counts the consecutive underflowing branches circularly
+    preceding j (Section 3.2) — exactly what the walker computes online, so
+    tests can cross-check the two.
+    """
+    start = root if root is not None else ConjunctiveQuery()
+    free = [a for a in order if not start.constrains(a)]
+    out: Dict[frozenset, Tuple[float, int]] = {}
+
+    def landing_probabilities(counts: np.ndarray) -> np.ndarray:
+        """(w_U(j)+1)/w per branch; 0 for empty branches."""
+        w = counts.size
+        probs = np.zeros(w)
+        nonempty = counts > 0
+        for j in range(w):
+            if not nonempty[j]:
+                continue
+            run = 0
+            pred = (j - 1) % w
+            while pred != j and not nonempty[pred]:
+                run += 1
+                pred = (pred - 1) % w
+            probs[j] = (run + 1) / w
+        return probs
+
+    def recurse(query: ConjunctiveQuery, level: int, prob: float) -> None:
+        attr = free[level]
+        fanout = table.schema[attr].domain_size
+        counts = np.array(
+            [table.count(query.extended(attr, v)) for v in range(fanout)]
+        )
+        landing = landing_probabilities(counts)
+        for value in range(fanout):
+            if counts[value] == 0:
+                continue
+            child = query.extended(attr, value)
+            child_prob = prob * landing[value]
+            if counts[value] <= k:
+                out[child.key] = (child_prob, int(counts[value]))
+            else:
+                recurse(child, level + 1, child_prob)
+
+    root_count = table.count(start)
+    if root_count == 0:
+        return out
+    if root_count <= k:
+        out[start.key] = (1.0, root_count)
+        return out
+    recurse(start, 0, 1.0)
+    return out
+
+
+def theorem2_variance(
+    table: HiddenTable,
+    k: int,
+    order: Sequence[int],
+    root: Optional[ConjunctiveQuery] = None,
+) -> float:
+    """Exact single-walk estimation variance (Theorem 2).
+
+    ``s² = Σ_{q∈Ω_TV} |q|²/p(q) - m²`` for the plain uniform
+    smart-backtracking walk.  A Monte-Carlo run of
+    :class:`~repro.core.estimators.BoolUnbiasedSize` must converge to this.
+    """
+    probabilities = uniform_walk_probabilities(table, k, order, root)
+    if not probabilities:
+        return 0.0
+    total = sum(count for _, count in probabilities.values())
+    second_moment = sum(
+        count * count / prob for prob, count in probabilities.values()
+    )
+    return second_moment - total * total

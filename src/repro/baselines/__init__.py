@@ -1,0 +1,23 @@
+"""Baseline estimators the paper compares against (Section 2)."""
+
+from repro.baselines.brute_force import BruteForceResult, BruteForceSampler
+from repro.baselines.capture_recapture import (
+    CaptureRecaptureEstimator,
+    CaptureRecaptureResult,
+    chapman,
+    lincoln_petersen,
+    schnabel,
+)
+from repro.baselines.hidden_db_sampler import HiddenDBSampler, Sample
+
+__all__ = [
+    "BruteForceSampler",
+    "BruteForceResult",
+    "HiddenDBSampler",
+    "Sample",
+    "CaptureRecaptureEstimator",
+    "CaptureRecaptureResult",
+    "lincoln_petersen",
+    "chapman",
+    "schnabel",
+]

@@ -1,0 +1,144 @@
+"""Command-line interface.
+
+Examples::
+
+    hiddendb-repro list
+    hiddendb-repro run fig06
+    hiddendb-repro run fig14 --scale tiny --seed 3
+    hiddendb-repro run all --full
+    hiddendb-repro estimate --dataset yahoo --m 20000 --rounds 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.estimators import HDUnbiasedSize
+from repro.datasets import bool_iid, bool_mixed, yahoo_auto
+from repro.experiments.config import SCALES, default_scale_name
+from repro.experiments.figures import FIGURE_RUNNERS
+from repro.hidden_db.counters import HiddenDBClient
+from repro.hidden_db.interface import TopKInterface
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="hiddendb-repro",
+        description="Reproduction of 'Unbiased Estimation of Size and Other "
+                    "Aggregates Over Hidden Web Databases' (SIGMOD 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures/tables")
+
+    run = sub.add_parser("run", help="regenerate a figure/table")
+    run.add_argument("figure", help="figure id (e.g. fig06) or 'all'")
+    run.add_argument("--scale", choices=sorted(SCALES), default=None,
+                     help="experiment scale (default: small, or paper with "
+                          "REPRO_FULL=1)")
+    run.add_argument("--full", action="store_true",
+                     help="shortcut for --scale paper")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true", help="emit JSON")
+
+    est = sub.add_parser("estimate", help="estimate the size of a built-in dataset")
+    est.add_argument("--dataset", choices=["iid", "mixed", "yahoo"], default="yahoo")
+    est.add_argument("--m", type=int, default=20_000)
+    est.add_argument("--k", type=int, default=100)
+    est.add_argument("--rounds", type=int, default=20)
+    est.add_argument("--r", type=int, default=4)
+    est.add_argument("--dub", type=int, default=32)
+    est.add_argument("--seed", type=int, default=0)
+
+    tune = sub.add_parser(
+        "tune", help="suggest (r, D_UB) for a budget (Section 5.1 pilots)"
+    )
+    tune.add_argument("--dataset", choices=["iid", "mixed", "yahoo"], default="yahoo")
+    tune.add_argument("--m", type=int, default=20_000)
+    tune.add_argument("--k", type=int, default=100)
+    tune.add_argument("--budget", type=int, default=1_000)
+    tune.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    for figure_id in FIGURE_RUNNERS:
+        print(figure_id)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scale = "paper" if args.full else (args.scale or default_scale_name())
+    ids = list(FIGURE_RUNNERS) if args.figure == "all" else [args.figure]
+    unknown = [i for i in ids if i not in FIGURE_RUNNERS]
+    if unknown:
+        print(f"unknown figure(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for figure_id in ids:
+        result = FIGURE_RUNNERS[figure_id](scale=scale, seed=args.seed)
+        if args.json:
+            print(json.dumps(result.to_dict()))
+        else:
+            print(result.format_table())
+            print()
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
+    maker = makers[args.dataset]
+    table = maker(m=args.m, seed=args.seed) if args.dataset == "yahoo" else maker(
+        m=args.m, seed=args.seed
+    )
+    client = HiddenDBClient(TopKInterface(table, args.k))
+    estimator = HDUnbiasedSize(
+        client, r=args.r, dub=args.dub, seed=args.seed
+    )
+    result = estimator.run(rounds=args.rounds)
+    print(f"dataset={args.dataset} m={table.num_tuples} k={args.k}")
+    print(f"estimate={result.mean:,.1f}  ci95=({result.ci95[0]:,.1f}, "
+          f"{result.ci95[1]:,.1f})  queries={result.total_cost}  "
+          f"rounds={result.rounds}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core import suggest_parameters
+
+    makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
+    table = makers[args.dataset](m=args.m, seed=args.seed)
+    client = HiddenDBClient(TopKInterface(table, args.k))
+    suggestion = suggest_parameters(client, query_budget=args.budget, seed=args.seed)
+    print(f"dataset={args.dataset} m={table.num_tuples} k={args.k} "
+          f"budget={args.budget}")
+    print(f"suggested r={suggestion.r} DUB={suggestion.dub} "
+          f"(pilot cost {suggestion.pilot_cost}, "
+          f"~{suggestion.expected_rounds} rounds left in budget)")
+    for pilot in suggestion.pilots:
+        print(f"  DUB={pilot.dub:<6} variance={pilot.variance:.3e} "
+              f"cost/round={pilot.cost_per_round:.0f} rounds={pilot.rounds}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``hiddendb-repro`` console script)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""The paper's contribution: unbiased drill-down estimators.
+
+* :mod:`repro.core.drilldown` — backtracking random walks (Section 3);
+* :mod:`repro.core.weights` — weight adjustment (Section 4.1);
+* :mod:`repro.core.partition` / :mod:`repro.core.divide_conquer` —
+  divide-&-conquer (Section 4.2);
+* :mod:`repro.core.estimators` — the public HD-UNBIASED family (Section 5).
+"""
+
+from repro.core.divide_conquer import MassFunction, TreeEstimate, estimate_tree
+from repro.core.drilldown import Walker, WalkKind, WalkOutcome, WalkStep
+from repro.core.estimators import (
+    BoolUnbiasedSize,
+    EstimationResult,
+    HDUnbiasedAgg,
+    HDUnbiasedSize,
+    RoundEstimate,
+    resolve_condition,
+)
+from repro.core.partition import (
+    free_attribute_order,
+    segment_attributes,
+    segment_domain_size,
+)
+from repro.core.stratified import (
+    StratifiedEstimator,
+    StratifiedResult,
+    StratumResult,
+)
+from repro.core.tuning import (
+    ParameterSuggestion,
+    PilotMeasurement,
+    suggest_parameters,
+)
+from repro.core.weights import (
+    BranchRecord,
+    OracleWeights,
+    UniformWeights,
+    WeightStore,
+)
+
+__all__ = [
+    "Walker",
+    "WalkKind",
+    "WalkOutcome",
+    "WalkStep",
+    "WeightStore",
+    "UniformWeights",
+    "OracleWeights",
+    "BranchRecord",
+    "free_attribute_order",
+    "segment_attributes",
+    "segment_domain_size",
+    "estimate_tree",
+    "TreeEstimate",
+    "MassFunction",
+    "HDUnbiasedSize",
+    "BoolUnbiasedSize",
+    "HDUnbiasedAgg",
+    "EstimationResult",
+    "RoundEstimate",
+    "resolve_condition",
+    "suggest_parameters",
+    "ParameterSuggestion",
+    "PilotMeasurement",
+    "StratifiedEstimator",
+    "StratifiedResult",
+    "StratumResult",
+]

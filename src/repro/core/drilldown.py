@@ -1,0 +1,221 @@
+"""Random drill down with backtracking — the engine of Section 3.
+
+One *walk* starts from a known-overflowing node and repeatedly specialises
+one more attribute until it lands on a **valid** node (a *top-valid* node:
+valid with an overflowing parent) or exhausts the attribute list while the
+landing still overflows (a *bottom-overflow* node — only meaningful inside
+a divide-&-conquer segment).
+
+At each level the walker:
+
+1. draws an initial branch from the pick distribution (uniform without
+   weight adjustment, Section 3; pilot-adjusted with it, Section 4.1);
+2. if the branch underflows, probes right-neighbours circularly until a
+   non-underflowing branch is found — *smart backtracking* (Section 3.2);
+3. determines the **landing probability**: the chance that step 1+2 would
+   land exactly here, i.e. the summed pick probability of the landed branch
+   plus its maximal run of consecutive underflowing predecessors (the
+   paper's ``(w_U(j)+1)/w`` in the uniform case).  Learning the run length
+   may require probing left-neighbours.
+
+The walker exploits the two paper-noted query savings:
+
+* **Boolean backtracking is free** — if the picked branch of a fanout-2
+  level underflows, the sibling of an overflowing parent must overflow,
+  so it is followed without being issued (landing probability 1);
+* **the final Boolean level is free** — when a fanout-2 branch lands valid,
+  its sibling cannot be empty (the parent overflows and the landed branch
+  holds at most k of its more-than-k tuples), so Scenario I is known
+  without a probe.
+
+``p(q)``, the product of landing probabilities, is *exactly* the
+probability that this walk reaches ``q`` — the Horvitz–Thompson weight that
+makes ``mass(q)/p(q)`` unbiased (Theorem 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hidden_db.counters import HiddenDBClient
+from repro.hidden_db.interface import QueryResult
+from repro.hidden_db.query import ConjunctiveQuery
+
+__all__ = ["WalkStep", "WalkKind", "WalkOutcome", "Walker"]
+
+
+class WalkKind(enum.Enum):
+    """How a drill down terminated."""
+
+    TOP_VALID = "top_valid"
+    BOTTOM_OVERFLOW = "bottom_overflow"
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One level of a drill down: the choice made and its probability."""
+
+    node_key: frozenset  # canonical key of the node where the choice happened
+    attr: int
+    fanout: int
+    value: int  # landed branch
+    probability: float  # exact landing probability of this branch
+
+
+@dataclass
+class WalkOutcome:
+    """Terminal state of one drill down."""
+
+    kind: WalkKind
+    query: ConjunctiveQuery
+    result: Optional[QueryResult]  # page of the terminal node (None when inferred)
+    probability: float  # p(q): product of landing probabilities
+    steps: List[WalkStep]
+
+    @property
+    def depth(self) -> int:
+        """Number of levels walked."""
+        return len(self.steps)
+
+
+@dataclass
+class _Landing:
+    value: int
+    query: ConjunctiveQuery
+    result: Optional[QueryResult]
+    probability: float
+    valid: bool  # landed on a valid (terminal) node
+
+
+class Walker:
+    """Performs drill downs for an estimator.
+
+    Parameters
+    ----------
+    client:
+        The (caching) client over the top-k form.
+    weights:
+        Branch-pick policy — :class:`~repro.core.weights.UniformWeights`
+        for the plain paper walk or a
+        :class:`~repro.core.weights.WeightStore` for weight adjustment.
+        The walker reports discovered underflows to it either way.
+    rng:
+        Random generator driving the picks.
+    """
+
+    def __init__(self, client: HiddenDBClient, weights, rng: np.random.Generator) -> None:
+        self.client = client
+        self.weights = weights
+        self.rng = rng
+        self.schema = client.schema
+        self.walks_performed = 0
+
+    # -- public API ------------------------------------------------------
+
+    def drill_down(
+        self,
+        root: ConjunctiveQuery,
+        attributes: Sequence[int],
+    ) -> WalkOutcome:
+        """One random drill down from *root* through *attributes*.
+
+        *root* must be overflowing (the caller has observed its page or, in
+        recursion, inherited the knowledge from a bottom-overflow landing).
+        """
+        if not attributes:
+            raise ValueError("drill_down needs at least one attribute level")
+        self.walks_performed += 1
+        node = root
+        probability = 1.0
+        steps: List[WalkStep] = []
+        landing: Optional[_Landing] = None
+        for attr in attributes:
+            landing = self._choose_branch(node, attr)
+            probability *= landing.probability
+            steps.append(
+                WalkStep(
+                    node_key=node.key,
+                    attr=attr,
+                    fanout=self.schema[attr].domain_size,
+                    value=landing.value,
+                    probability=landing.probability,
+                )
+            )
+            node = landing.query
+            if landing.valid:
+                return WalkOutcome(
+                    WalkKind.TOP_VALID, node, landing.result, probability, steps
+                )
+        return WalkOutcome(
+            WalkKind.BOTTOM_OVERFLOW, node, landing.result, probability, steps
+        )
+
+    # -- one level --------------------------------------------------------
+
+    def _choose_branch(self, node: ConjunctiveQuery, attr: int) -> _Landing:
+        """Pick, smart-backtrack and price one level below *node*.
+
+        *node* is known to overflow, so at least one branch is non-empty.
+        """
+        fanout = self.schema[attr].domain_size
+        dist = np.asarray(self.weights.branch_distribution(node.key, attr, fanout))
+        start = int(self.rng.choice(fanout, p=dist))
+
+        # Smart backtracking: walk right (circularly) from the initial pick
+        # until a non-underflowing branch is found.
+        value = start
+        result: Optional[QueryResult] = None
+        backtracked = False
+        for _ in range(fanout):
+            query = node.extended(attr, value)
+            if fanout == 2 and backtracked:
+                # Boolean shortcut: the sibling of an underflowing child of
+                # an overflowing parent must overflow — follow it unissued.
+                return _Landing(
+                    value=value,
+                    query=query,
+                    result=None,
+                    probability=1.0,  # both branches lead here
+                    valid=False,
+                )
+            result = self.client.query(query)
+            if not result.underflow:
+                break
+            self.weights.mark_empty(node.key, attr, fanout, value)
+            backtracked = True
+            value = (value + 1) % fanout
+        else:
+            raise RuntimeError(
+                f"all {fanout} branches of {node!r} on attribute {attr} "
+                "underflow although the node overflows - inconsistent table"
+            )
+
+        landed_query = node.extended(attr, value)
+        valid = result.valid
+
+        # Landing probability = pick probability of the landed branch plus
+        # that of its maximal run of consecutive underflowing predecessors.
+        if fanout == 2 and valid and not backtracked:
+            # Final-level Boolean shortcut: the sibling cannot be empty
+            # (parent has > k tuples, this branch holds <= k), so the
+            # window is just the landed branch - no probe needed.
+            return _Landing(value, landed_query, result, float(dist[value]), valid)
+
+        probability = float(dist[value])
+        pred = (value - 1) % fanout
+        while pred != value:
+            pred_result = self.client.query(node.extended(attr, pred))
+            if not pred_result.underflow:
+                break
+            self.weights.mark_empty(node.key, attr, fanout, pred)
+            probability += float(dist[pred])
+            pred = (pred - 1) % fanout
+        else:
+            # Full circle: every other branch underflows; landing here was
+            # certain.
+            probability = 1.0
+        return _Landing(value, landed_query, result, probability, valid)

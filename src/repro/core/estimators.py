@@ -1,0 +1,410 @@
+"""Public estimator API: BOOL-UNBIASED-SIZE, HD-UNBIASED-SIZE and
+HD-UNBIASED-AGG.
+
+Every estimator runs *rounds*; one round is a full (possibly recursive)
+divide-&-conquer pass producing one unbiased estimate.  A session averages
+rounds — the mean of i.i.d.-conditionally-unbiased estimates — while
+recording the running estimate against the cumulative query cost, which is
+the trajectory every figure in the paper plots.
+
+Quick start::
+
+    from repro import HDUnbiasedSize, HiddenDBClient, TopKInterface
+    from repro.datasets import yahoo_auto
+
+    table = yahoo_auto(m=20_000, seed=7)
+    client = HiddenDBClient(TopKInterface(table, k=100))
+    estimator = HDUnbiasedSize(client, r=4, dub=32, seed=11)
+    result = estimator.run(rounds=20)
+    print(result.mean, result.ci95, result.total_cost)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.divide_conquer import TreeEstimate, estimate_tree
+from repro.core.drilldown import Walker
+from repro.core.partition import free_attribute_order, segment_attributes
+from repro.core.weights import UniformWeights, WeightStore
+from repro.hidden_db.counters import HiddenDBClient
+from repro.hidden_db.exceptions import InvalidQueryError, QueryLimitExceeded
+from repro.hidden_db.interface import QueryResult
+from repro.hidden_db.query import ConjunctiveQuery
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.stats import RunningStats, StreamingMeanSeries
+
+__all__ = [
+    "RoundEstimate",
+    "EstimationResult",
+    "HDUnbiasedSize",
+    "BoolUnbiasedSize",
+    "HDUnbiasedAgg",
+    "resolve_condition",
+]
+
+ConditionLike = Union[None, ConjunctiveQuery, Mapping[str, Union[int, str]]]
+
+
+def resolve_condition(schema, condition: ConditionLike) -> Optional[ConjunctiveQuery]:
+    """Normalise a selection condition into a :class:`ConjunctiveQuery`.
+
+    Accepts ``None``, a ready-made query, or a mapping from attribute name
+    to a value (int) or label (str), e.g. ``{"MAKE": "Toyota"}``.
+    """
+    if condition is None:
+        return None
+    if isinstance(condition, ConjunctiveQuery):
+        condition.validate(schema)
+        return condition
+    query = ConjunctiveQuery()
+    for name, raw in condition.items():
+        attr_index = schema.index_of(name)
+        attribute = schema[attr_index]
+        value = attribute.value_of(raw) if isinstance(raw, str) else int(raw)
+        attribute.validate_value(value)
+        query = query.extended(attr_index, value)
+    return query
+
+
+@dataclass(frozen=True)
+class RoundEstimate:
+    """One unbiased estimate and what it cost to produce."""
+
+    values: np.ndarray  # mass-component estimates (COUNT, SUM, ...)
+    cost: int  # queries charged during this round
+    walks: int  # drill downs performed during this round
+
+    @property
+    def value(self) -> float:
+        """First (primary) component, for single-aggregate estimators."""
+        return float(self.values[0])
+
+
+@dataclass
+class EstimationResult:
+    """Aggregated outcome of an estimation session."""
+
+    estimates: List[float]  # per-round scalar estimates (the published statistic)
+    mean: float
+    std_error: float
+    ci95: Tuple[float, float]
+    total_cost: int
+    rounds: int
+    trajectory: StreamingMeanSeries  # (cumulative cost, running statistic)
+    raw_rounds: List[RoundEstimate] = field(default_factory=list)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance of the per-round estimates."""
+        stats = RunningStats()
+        stats.extend(self.estimates)
+        return stats.variance
+
+
+class _DrillDownEstimator:
+    """Shared machinery of the HD-UNBIASED family.
+
+    Subclasses define the mass vector extracted from a valid result page
+    and how the per-round vector collapses into the published statistic.
+    """
+
+    #: number of mass components
+    _dims = 1
+    #: component used to build weight-adjustment pilot history
+    _alignment_component = 0
+
+    def __init__(
+        self,
+        client: HiddenDBClient,
+        r: int = 4,
+        dub: Optional[int] = 32,
+        weight_adjustment: bool = True,
+        condition: ConditionLike = None,
+        attribute_order: Optional[Sequence[int]] = None,
+        seed: RandomSource = None,
+        smoothing: float = 0.25,
+    ) -> None:
+        if r < 1:
+            raise ValueError(f"r must be >= 1, got {r}")
+        self.client = client
+        self.r = int(r)
+        self.dub = dub
+        self.weight_adjustment = bool(weight_adjustment)
+        self.condition = resolve_condition(client.schema, condition)
+        self.root = self.condition if self.condition is not None else ConjunctiveQuery()
+        order = free_attribute_order(client.schema, self.condition, attribute_order)
+        if not order:
+            raise InvalidQueryError(
+                "the selection condition fixes every attribute; the answer "
+                "is a single form query, no estimation needed"
+            )
+        self.attribute_order = order
+        self.segments = segment_attributes(order, client.schema, dub)
+        self.rng = spawn_rng(seed)
+        weights = WeightStore(smoothing=smoothing) if weight_adjustment else UniformWeights()
+        self.walker = Walker(client, weights, self.rng)
+
+    # -- to be provided by subclasses ------------------------------------
+
+    def _mass(self, result: QueryResult) -> np.ndarray:
+        raise NotImplementedError
+
+    def _statistic(self, values: np.ndarray) -> float:
+        """Collapse a mass vector into the published scalar statistic."""
+        return float(values[0])
+
+    # -- running ----------------------------------------------------------
+
+    def run_once(self) -> RoundEstimate:
+        """One full pass -> one unbiased estimate of the mass vector."""
+        cost_before = self.client.cost
+        walks_before = self.walker.walks_performed
+        root_page = self.client.query(self.root)
+        if root_page.underflow:
+            values = np.zeros(self._dims)
+        elif root_page.valid:
+            # The whole (sub-)database fits on one page: the estimate is exact.
+            values = np.asarray(self._mass(root_page), dtype=float)
+        else:
+            tree: TreeEstimate = estimate_tree(
+                self.walker,
+                self.root,
+                self.segments,
+                self.r,
+                self._mass,
+                self._dims,
+                self._alignment_component,
+            )
+            values = tree.values
+        return RoundEstimate(
+            values=values,
+            cost=self.client.cost - cost_before,
+            walks=self.walker.walks_performed - walks_before,
+        )
+
+    def run(
+        self,
+        rounds: Optional[int] = None,
+        query_budget: Optional[int] = None,
+        stall_rounds: int = 50,
+    ) -> EstimationResult:
+        """Run rounds until a count or a query budget is reached.
+
+        At least one of *rounds* / *query_budget* must be given.  The last
+        round may overshoot the budget slightly (a round is atomic).  If the
+        underlying interface enforces a hard limit, the session stops
+        gracefully when it is hit (keeping the rounds already completed).
+
+        With a budget-only session over a caching client, rounds can become
+        free once the client has the walked subtrees cached; *stall_rounds*
+        consecutive zero-cost rounds end the session (the estimate has
+        extracted nearly everything the cache holds by then).
+        """
+        if rounds is None and query_budget is None:
+            raise ValueError("specify rounds and/or query_budget")
+        start_cost = self.client.cost
+        vector_sum = np.zeros(self._dims)
+        per_round: List[RoundEstimate] = []
+        scalars: List[float] = []
+        trajectory = StreamingMeanSeries()
+        stalled = 0
+        while True:
+            if rounds is not None and len(per_round) >= rounds:
+                break
+            if query_budget is not None and self.client.cost - start_cost >= query_budget:
+                break
+            if rounds is None and stalled >= stall_rounds:
+                break
+            try:
+                round_estimate = self.run_once()
+            except QueryLimitExceeded:
+                if per_round:
+                    break
+                raise
+            stalled = stalled + 1 if round_estimate.cost == 0 else 0
+            per_round.append(round_estimate)
+            vector_sum += round_estimate.values
+            running = self._statistic(vector_sum / len(per_round))
+            scalars.append(self._statistic(round_estimate.values))
+            trajectory.append(self.client.cost - start_cost, running)
+        if not per_round:
+            raise ValueError("the query budget allowed no rounds at all")
+        return self._assemble(per_round, scalars, vector_sum, trajectory,
+                              start_cost)
+
+    def run_until(
+        self,
+        target_relative_halfwidth: float,
+        confidence_z: float = 1.96,
+        min_rounds: int = 5,
+        max_rounds: int = 10_000,
+        query_budget: Optional[int] = None,
+    ) -> EstimationResult:
+        """Run rounds until the CI half-width is small enough.
+
+        Because every round is unbiased, the normal-approximation CI of the
+        running mean is honest (the paper's headline property); this method
+        stops once ``z * SE <= target * |mean|``.  A budget and a round cap
+        bound the session either way.
+        """
+        if target_relative_halfwidth <= 0:
+            raise ValueError("target_relative_halfwidth must be positive")
+        if min_rounds < 2:
+            raise ValueError("min_rounds must be at least 2 (SE needs it)")
+        start_cost = self.client.cost
+        vector_sum = np.zeros(self._dims)
+        per_round: List[RoundEstimate] = []
+        scalars: List[float] = []
+        trajectory = StreamingMeanSeries()
+        stats = RunningStats()
+        while len(per_round) < max_rounds:
+            if query_budget is not None and self.client.cost - start_cost >= query_budget:
+                break
+            try:
+                round_estimate = self.run_once()
+            except QueryLimitExceeded:
+                if per_round:
+                    break
+                raise
+            per_round.append(round_estimate)
+            vector_sum += round_estimate.values
+            scalar = self._statistic(round_estimate.values)
+            scalars.append(scalar)
+            stats.add(scalar)
+            running = self._statistic(vector_sum / len(per_round))
+            trajectory.append(self.client.cost - start_cost, running)
+            if len(per_round) >= min_rounds and running != 0:
+                halfwidth = confidence_z * stats.std_error
+                if halfwidth <= target_relative_halfwidth * abs(running):
+                    break
+        if not per_round:
+            raise ValueError("the query budget allowed no rounds at all")
+        return self._assemble(per_round, scalars, vector_sum, trajectory,
+                              start_cost)
+
+    def _assemble(
+        self,
+        per_round: List[RoundEstimate],
+        scalars: List[float],
+        vector_sum: np.ndarray,
+        trajectory: StreamingMeanSeries,
+        start_cost: int,
+    ) -> EstimationResult:
+        stats = RunningStats()
+        stats.extend(scalars)
+        mean = self._statistic(vector_sum / len(per_round))
+        return EstimationResult(
+            estimates=scalars,
+            mean=mean,
+            std_error=stats.std_error,
+            ci95=stats.confidence_interval(),
+            total_cost=self.client.cost - start_cost,
+            rounds=len(per_round),
+            trajectory=trajectory,
+            raw_rounds=per_round,
+        )
+
+
+class HDUnbiasedSize(_DrillDownEstimator):
+    """HD-UNBIASED-SIZE (Section 5.1): unbiased database-size estimation.
+
+    Combines backtracking drill downs, weight adjustment and
+    divide-&-conquer.  ``r`` and ``dub`` are the paper's two parameters;
+    ``dub=None`` (or ``r=1``) disables divide-&-conquer and
+    ``weight_adjustment=False`` disables weight adjustment, which yields
+    the four Figure-14 ablation variants.
+
+    With a *condition*, estimates COUNT(*) over the matching subtree
+    (Section 5.2).
+    """
+
+    def _mass(self, result: QueryResult) -> np.ndarray:
+        return np.array([float(result.num_returned)])
+
+
+class BoolUnbiasedSize(HDUnbiasedSize):
+    """BOOL-UNBIASED-SIZE (Section 3.1): the parameter-less plain estimator.
+
+    One backtracking drill down per round, no weight adjustment, no
+    divide-&-conquer.  Despite the historical name it also runs on
+    categorical schemas — the walk engine's smart backtracking (Section
+    3.2) is the categorical generalisation of the Boolean two-branch case.
+    """
+
+    def __init__(
+        self,
+        client: HiddenDBClient,
+        condition: ConditionLike = None,
+        attribute_order: Optional[Sequence[int]] = None,
+        seed: RandomSource = None,
+    ) -> None:
+        super().__init__(
+            client,
+            r=1,
+            dub=None,
+            weight_adjustment=False,
+            condition=condition,
+            attribute_order=attribute_order,
+            seed=seed,
+        )
+
+
+class HDUnbiasedAgg(_DrillDownEstimator):
+    """HD-UNBIASED-AGG (Section 5.2): aggregate estimation.
+
+    Parameters
+    ----------
+    aggregate:
+        ``"count"`` — unbiased COUNT(*) under the condition;
+        ``"sum"`` — unbiased SUM(measure) under the condition;
+        ``"avg"`` — AVG(measure) as the ratio of the SUM and COUNT
+        estimates *from the same walks*.  The paper proves no unbiased AVG
+        estimator is practical (Section 5.2); the ratio estimator is biased
+        (though consistent) and is provided with that caveat.
+    measure:
+        Name of the measure column (required for sum/avg).
+    """
+
+    def __init__(
+        self,
+        client: HiddenDBClient,
+        aggregate: str = "sum",
+        measure: Optional[str] = None,
+        **kwargs,
+    ) -> None:
+        aggregate = aggregate.lower()
+        if aggregate not in ("sum", "count", "avg"):
+            raise ValueError(f"unsupported aggregate {aggregate!r}")
+        if aggregate in ("sum", "avg"):
+            if measure is None:
+                raise ValueError(f"aggregate {aggregate!r} needs a measure name")
+            if measure not in client.schema.measure_names:
+                raise InvalidQueryError(
+                    f"unknown measure {measure!r}; schema offers "
+                    f"{list(client.schema.measure_names)}"
+                )
+        self.aggregate = aggregate
+        self.measure = measure
+        self._dims = 2 if aggregate == "avg" else 1
+        # Align pilot weights with the aggregated mass (SUM for sum/avg).
+        self._alignment_component = 0
+        super().__init__(client, **kwargs)
+
+    def _mass(self, result: QueryResult) -> np.ndarray:
+        if self.aggregate == "count":
+            return np.array([float(result.num_returned)])
+        total = result.sum_measure(self.measure)
+        if self.aggregate == "sum":
+            return np.array([total])
+        return np.array([total, float(result.num_returned)])
+
+    def _statistic(self, values: np.ndarray) -> float:
+        if self.aggregate == "avg":
+            if values[1] == 0:
+                return float("nan")
+            return float(values[0] / values[1])
+        return float(values[0])

@@ -1,0 +1,159 @@
+"""Parameter selection for HD-UNBIASED-SIZE (Section 5.1, operationalised).
+
+The paper's guidance: *"one should first determine D_UB according to the
+variance estimation. Then, starting from r = 2, one can gradually increase
+the budget r until reaching the limit on the number of queries issuable to
+the hidden database."*
+
+:func:`suggest_parameters` implements exactly that protocol with pilot
+rounds.  For each candidate ``D_UB`` it runs a few cheap pilot sessions,
+measures the per-round estimate variance ``s²`` and per-round query cost
+``c``, and scores the candidate by ``s² · c`` — the variance a budget of
+``B`` queries buys is approximately ``s² / (B/c) = s²·c / B``, so minimising
+``s²·c`` minimises the budgeted MSE.  ``r`` is then raised from 2 while the
+expected session cost still fits the caller's budget.
+
+Pilot queries are charged to the same client (they are real form queries),
+which mirrors how a practitioner would spend a slice of the daily quota on
+calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimators import HDUnbiasedSize
+from repro.hidden_db.counters import HiddenDBClient
+from repro.hidden_db.exceptions import QueryLimitExceeded
+from repro.utils.rng import RandomSource, spawn_rng
+
+__all__ = ["PilotMeasurement", "ParameterSuggestion", "suggest_parameters"]
+
+_DEFAULT_CANDIDATE_DUBS = (16, 64, 256, 1024)
+
+
+@dataclass(frozen=True)
+class PilotMeasurement:
+    """Pilot statistics for one candidate D_UB."""
+
+    dub: int
+    variance: float  # sample variance of pilot round estimates
+    cost_per_round: float
+    rounds: int
+
+    @property
+    def score(self) -> float:
+        """Variance x cost — proportional to the MSE a fixed budget buys."""
+        return self.variance * max(self.cost_per_round, 1.0)
+
+
+@dataclass(frozen=True)
+class ParameterSuggestion:
+    """Recommended (r, D_UB) plus the evidence behind the choice."""
+
+    dub: int
+    r: int
+    pilots: Tuple[PilotMeasurement, ...]
+    pilot_cost: int  # queries spent on calibration
+    expected_rounds: int  # rounds the remaining budget should afford
+
+
+def suggest_parameters(
+    client: HiddenDBClient,
+    query_budget: int,
+    pilot_rounds: int = 6,
+    candidate_dubs: Optional[Sequence[int]] = None,
+    condition=None,
+    seed: RandomSource = None,
+) -> ParameterSuggestion:
+    """Pick (r, D_UB) for a budgeted estimation session (Section 5.1).
+
+    Parameters
+    ----------
+    client:
+        The client the real estimation will also use (pilot queries are
+        charged to it and warm its cache, so they are not wasted).
+    query_budget:
+        Total queries the caller is willing to spend, calibration included.
+    pilot_rounds:
+        Rounds per candidate D_UB during calibration.
+    candidate_dubs:
+        D_UB values to try (defaults to 16..1024 in powers of 4, clipped to
+        at least the largest attribute fanout).
+    condition:
+        Optional selection condition forwarded to the pilot estimators.
+    seed:
+        Randomness source.
+
+    Raises
+    ------
+    ValueError
+        If the budget is too small to run any pilot at all.
+    """
+    if query_budget < 2:
+        raise ValueError("query_budget must be at least 2")
+    rng = spawn_rng(seed)
+    max_fanout = max(a.domain_size for a in client.schema)
+    if candidate_dubs is None:
+        candidate_dubs = _DEFAULT_CANDIDATE_DUBS
+    candidates = sorted({max(int(d), max_fanout) for d in candidate_dubs})
+
+    start_cost = client.cost
+    calibration_budget = max(query_budget // 3, 2)
+    per_candidate = max(calibration_budget // len(candidates), 1)
+    pilots: List[PilotMeasurement] = []
+    for dub in candidates:
+        estimator = HDUnbiasedSize(
+            client, r=2, dub=dub, condition=condition,
+            seed=int(rng.integers(2**31)),
+        )
+        estimates: List[float] = []
+        costs: List[int] = []
+        candidate_start = client.cost
+        for _ in range(pilot_rounds):
+            if client.cost - candidate_start >= per_candidate:
+                break
+            try:
+                round_estimate = estimator.run_once()
+            except QueryLimitExceeded:
+                break
+            estimates.append(round_estimate.value)
+            costs.append(round_estimate.cost)
+        if len(estimates) >= 2:
+            variance = float(np.var(estimates, ddof=1))
+            pilots.append(
+                PilotMeasurement(
+                    dub=dub,
+                    variance=variance,
+                    cost_per_round=float(np.mean(costs)),
+                    rounds=len(estimates),
+                )
+            )
+    if not pilots:
+        raise ValueError(
+            "the budget allowed no pilot rounds; raise query_budget or "
+            "lower pilot_rounds"
+        )
+
+    best = min(pilots, key=lambda p: p.score)
+    pilot_cost = client.cost - start_cost
+    remaining = max(query_budget - pilot_cost, 0)
+
+    # Section 5.1: start at r=2, raise r while the budget still affords a
+    # handful of rounds (the per-round cost grows roughly linearly in r).
+    base_cost = max(best.cost_per_round, 1.0) / 2.0  # pilot ran with r=2
+    r = 2
+    min_rounds = 4
+    while r < 16 and remaining / (base_cost * (r + 1)) >= min_rounds:
+        r += 1
+    expected_rounds = int(remaining / (base_cost * r)) if remaining else 0
+    return ParameterSuggestion(
+        dub=best.dub,
+        r=r,
+        pilots=tuple(pilots),
+        pilot_cost=pilot_cost,
+        expected_rounds=expected_rounds,
+    )

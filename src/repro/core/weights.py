@@ -1,0 +1,237 @@
+"""Weight adjustment (Section 4.1).
+
+The plain drill down picks every branch uniformly; weight adjustment skews
+the pick distribution toward branches whose subtrees are estimated to hold
+more mass, aligning the node-selection probability ``p(q)`` with the
+measure distribution ``|q|/m`` and thereby shrinking the estimation
+variance.  The branch-mass estimates come from the history of earlier drill
+downs (Eq. 6): a historic walk that reached terminal mass ``X`` below a
+branch contributes ``X / p(terminal | branch)``, where the conditional
+probability is the product of landing probabilities strictly below the
+branch.
+
+Unbiasedness does not depend on the quality of these estimates — the walk
+always knows the exact probabilities it used (Section 4.1.1, "imperfectly
+estimated weights do not affect the unbiasedness").  Two safeguards keep
+the *variance* under control when pilot history is thin or misleading:
+
+* a probability **floor**: the adjusted distribution is blended with the
+  uniform distribution over not-known-empty branches
+  (``smoothing`` = paper-free implementation choice, default 0.25), so no
+  reachable branch's landing probability collapses to ~0;
+* branches discovered to underflow get probability exactly 0 — they hold no
+  tuples, so skipping them cannot bias the estimate, and the saved picks go
+  to informative branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BranchRecord", "WeightStore", "UniformWeights", "OracleWeights"]
+
+NodeBranchKey = Tuple[frozenset, int]  # (node query key, attribute index)
+
+
+@dataclass
+class BranchRecord:
+    """Pilot statistics for the branches of one (node, attribute) pair."""
+
+    fanout: int
+    known_empty: np.ndarray = field(default=None)  # bool per value
+    mass_sum: np.ndarray = field(default=None)  # Σ X / p(X | branch)
+    visits: np.ndarray = field(default=None)  # historic walks through branch
+
+    def __post_init__(self) -> None:
+        if self.known_empty is None:
+            self.known_empty = np.zeros(self.fanout, dtype=bool)
+        if self.mass_sum is None:
+            self.mass_sum = np.zeros(self.fanout, dtype=float)
+        if self.visits is None:
+            self.visits = np.zeros(self.fanout, dtype=np.int64)
+
+    def estimated_masses(self) -> np.ndarray:
+        """Per-branch subtree-mass estimates (Eq. 6); nan where unvisited."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            est = self.mass_sum / self.visits
+        est[self.visits == 0] = np.nan
+        return est
+
+
+class WeightStore:
+    """Accumulates pilot history and produces branch-pick distributions."""
+
+    def __init__(
+        self,
+        smoothing: float = 0.25,
+        mass_floor: float = 0.5,
+    ) -> None:
+        if not (0.0 <= smoothing <= 1.0):
+            raise ValueError("smoothing must lie in [0, 1]")
+        if mass_floor <= 0:
+            raise ValueError("mass_floor must be positive")
+        self.smoothing = smoothing
+        self.mass_floor = mass_floor
+        self._records: Dict[NodeBranchKey, BranchRecord] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def _record(self, node_key: frozenset, attr: int, fanout: int) -> BranchRecord:
+        key = (node_key, attr)
+        rec = self._records.get(key)
+        if rec is None:
+            rec = BranchRecord(fanout)
+            self._records[key] = rec
+        return rec
+
+    def mark_empty(self, node_key: frozenset, attr: int, fanout: int, value: int) -> None:
+        """Record that branch *value* underflows (holds no tuples)."""
+        self._record(node_key, attr, fanout).known_empty[value] = True
+
+    def add_mass(
+        self, node_key: frozenset, attr: int, fanout: int, value: int, mass: float
+    ) -> None:
+        """Fold one historic walk's mass estimate into branch *value*."""
+        rec = self._record(node_key, attr, fanout)
+        rec.mass_sum[value] += mass
+        rec.visits[value] += 1
+
+    def record_walk(self, steps, terminal_mass: float) -> None:
+        """Credit an entire walk's path with its terminal mass.
+
+        *steps* is the sequence of :class:`~repro.core.drilldown.WalkStep`
+        of one drill down; *terminal_mass* is the measure mass of the
+        top-valid node (or the recursive subtree estimate of a
+        bottom-overflow node).  Implements Eq. 6: the estimate credited to
+        the branch taken at depth d is ``mass / Π_{j>d} p_j``.
+        """
+        factor = 1.0
+        for step in reversed(steps):
+            self.add_mass(
+                step.node_key, step.attr, step.fanout, step.value,
+                terminal_mass / factor,
+            )
+            factor *= step.probability
+
+    # -- reading -----------------------------------------------------------
+
+    def lookup(self, node_key: frozenset, attr: int) -> Optional[BranchRecord]:
+        """The branch record for (node, attr), if any history exists."""
+        return self._records.get((node_key, attr))
+
+    def known_empty_mask(self, node_key: frozenset, attr: int, fanout: int) -> np.ndarray:
+        """Bool mask of branches recorded as underflowing."""
+        rec = self._records.get((node_key, attr))
+        if rec is None:
+            return np.zeros(fanout, dtype=bool)
+        return rec.known_empty.copy()
+
+    def branch_distribution(
+        self, node_key: frozenset, attr: int, fanout: int
+    ) -> np.ndarray:
+        """Pick distribution over the values of *attr* below *node_key*.
+
+        Known-empty branches get probability 0; explored branches get their
+        Eq.-6 mass estimate (floored); unexplored branches get the mean
+        estimate of their explored siblings (or the floor); finally the
+        distribution is blended with uniform-over-candidates by the
+        smoothing factor.  Always sums to 1 and is strictly positive on
+        every not-known-empty branch.
+        """
+        rec = self._records.get((node_key, attr))
+        if rec is None:
+            return np.full(fanout, 1.0 / fanout)
+        candidates = ~rec.known_empty
+        n_candidates = int(candidates.sum())
+        if n_candidates == 0:
+            # Inconsistent history (every branch marked empty under an
+            # overflowing node) cannot happen via the walker; fall back to
+            # uniform so callers never divide by zero.
+            return np.full(fanout, 1.0 / fanout)
+        est = rec.estimated_masses()
+        explored = candidates & (rec.visits > 0)
+        weights = np.zeros(fanout, dtype=float)
+        if explored.any():
+            default = float(np.nanmean(np.maximum(est[explored], self.mass_floor)))
+        else:
+            default = self.mass_floor
+        for v in range(fanout):
+            if not candidates[v]:
+                continue
+            if explored[v]:
+                weights[v] = max(est[v], self.mass_floor)
+            else:
+                weights[v] = default
+        weights /= weights.sum()
+        uniform = candidates / n_candidates
+        dist = (1.0 - self.smoothing) * weights + self.smoothing * uniform
+        return dist / dist.sum()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class OracleWeights:
+    """Perfect weight alignment — Section 4.1.1's limiting case.
+
+    Reads the *true* per-branch tuple counts straight from the table (an
+    oracle no real client has) and picks each branch with probability
+    proportional to its subtree count.  Every landing probability then
+    equals the branch's tuple share, the walk reaches any top-valid node q
+    with probability exactly ``|q|/m``, and the Horvitz–Thompson estimate
+    ``|q|/p(q)`` equals m on *every single walk* — zero variance, the
+    paper's "perfect alignment" claim.  Used by tests and demos to validate
+    the walker's probability accounting end to end.
+    """
+
+    def __init__(self, table) -> None:
+        self.table = table
+
+    def mark_empty(self, node_key, attr, fanout, value) -> None:  # noqa: D102
+        pass
+
+    def add_mass(self, node_key, attr, fanout, value, mass) -> None:  # noqa: D102
+        pass
+
+    def record_walk(self, steps, terminal_mass) -> None:  # noqa: D102
+        pass
+
+    def branch_distribution(self, node_key, attr, fanout: int) -> np.ndarray:
+        """True-count-proportional distribution over the branches."""
+        from repro.hidden_db.query import ConjunctiveQuery
+
+        node = ConjunctiveQuery(tuple(node_key))
+        counts = np.array(
+            [self.table.count(node.extended(attr, v)) for v in range(fanout)],
+            dtype=float,
+        )
+        total = counts.sum()
+        if total == 0:
+            return np.full(fanout, 1.0 / fanout)
+        return counts / total
+
+
+class UniformWeights:
+    """The no-weight-adjustment policy: uniform over *all* branches.
+
+    Matches the plain BOOL-UNBIASED-SIZE / smart-backtracking walk of
+    Section 3: even branches already known to underflow keep their uniform
+    pick probability (re-picking them costs nothing thanks to the client
+    cache; the landing probability algebra is the paper's
+    ``(w_U(j)+1)/w``).
+    """
+
+    def mark_empty(self, node_key, attr, fanout, value) -> None:  # noqa: D102
+        pass
+
+    def add_mass(self, node_key, attr, fanout, value, mass) -> None:  # noqa: D102
+        pass
+
+    def record_walk(self, steps, terminal_mass) -> None:  # noqa: D102
+        pass
+
+    def branch_distribution(self, node_key, attr, fanout: int) -> np.ndarray:  # noqa: D102
+        return np.full(fanout, 1.0 / fanout)

@@ -1,0 +1,34 @@
+"""Dataset generators: the paper's synthetic and real-world-like workloads."""
+
+from repro.datasets.special import running_example, worst_case
+from repro.datasets.synthetic import (
+    bool_iid,
+    bool_mixed,
+    bool_mixed_probabilities,
+    boolean_table,
+)
+from repro.datasets.yahoo_auto import (
+    CATEGORICAL_SPECS,
+    MAKES,
+    MODELS_PER_MAKE,
+    OPTION_NAMES,
+    model_label,
+    yahoo_auto,
+    yahoo_auto_schema,
+)
+
+__all__ = [
+    "bool_iid",
+    "bool_mixed",
+    "bool_mixed_probabilities",
+    "boolean_table",
+    "running_example",
+    "worst_case",
+    "yahoo_auto",
+    "yahoo_auto_schema",
+    "model_label",
+    "MAKES",
+    "MODELS_PER_MAKE",
+    "OPTION_NAMES",
+    "CATEGORICAL_SPECS",
+]

@@ -1,0 +1,72 @@
+"""Hand-crafted tables from the paper's running examples and proofs.
+
+* :func:`running_example` — Table 1, the 6-tuple, 5-attribute example used
+  throughout Sections 2-4 (four Boolean attributes plus one categorical
+  attribute with domain {1..5} of which only values 1 and 3 occur).
+* :func:`worst_case` — the Figure 4 construction that maximises the
+  estimation variance of a plain backtracking walk: tuple t0 plus tuples
+  t1..tn where ti agrees with t0 on the first n-i attributes and differs on
+  the last i.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hidden_db.schema import Attribute, Schema
+from repro.hidden_db.table import HiddenTable
+
+__all__ = ["running_example", "worst_case"]
+
+
+def running_example() -> HiddenTable:
+    """Table 1 of the paper (6 tuples, A1-A4 Boolean, A5 in {1..5}).
+
+    A5 is encoded 0-based with labels '1'..'5'; the table's A5 column holds
+    label '1' (value 0) for all tuples except t5, which holds label '3'
+    (value 2) — exactly the published example.
+    """
+    schema = Schema(
+        [
+            Attribute("A1", 2),
+            Attribute("A2", 2),
+            Attribute("A3", 2),
+            Attribute("A4", 2),
+            Attribute("A5", 5, labels=("1", "2", "3", "4", "5")),
+        ],
+        measure_names=("VALUE",),
+    )
+    rows = np.array(
+        [
+            [0, 0, 0, 0, 0],  # t1: A5 = '1'
+            [0, 0, 0, 1, 0],  # t2
+            [0, 0, 1, 0, 0],  # t3
+            [0, 1, 1, 1, 0],  # t4
+            [1, 1, 1, 0, 2],  # t5: A5 = '3'
+            [1, 1, 1, 1, 0],  # t6
+        ],
+        dtype=np.int8,
+    )
+    value = np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0])
+    return HiddenTable(schema, rows, {"VALUE": value})
+
+
+def worst_case(n: int) -> HiddenTable:
+    """Figure 4's worst-case Boolean database (n attributes, n+1 tuples).
+
+    With t0 the all-zero tuple, tuple ti (1 <= i <= n) flips the last i
+    attributes: ti = 0^(n-i) 1^i.  Two top-valid nodes sit at the leaf level
+    when k = 1, so a plain drill down has variance at least 2^(n+1) - m^2
+    (Section 3.3.2) — the motivating case for divide-&-conquer.
+    """
+    if n < 2:
+        raise ValueError("worst_case needs at least 2 attributes")
+    rows = np.zeros((n + 1, n), dtype=np.int8)
+    for i in range(1, n + 1):
+        rows[i, n - i:] = 1
+    schema = Schema(
+        [Attribute(f"A{i+1}", 2) for i in range(n)],
+        measure_names=("VALUE",),
+    )
+    value = np.arange(1.0, n + 2.0)
+    return HiddenTable(schema, rows, {"VALUE": value})

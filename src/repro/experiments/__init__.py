@@ -1,0 +1,39 @@
+"""Experiment harness: scales, replication machinery, per-figure runners."""
+
+from repro.experiments.config import SCALES, Scale, default_scale_name, resolve_scale
+from repro.experiments.figures import FIGURE_RUNNERS, FigureResult
+from repro.experiments.harness import (
+    MetricsAtCost,
+    agg_factory,
+    capture_recapture_factory,
+    collect_trajectories,
+    hd_size_factory,
+    metrics_at_costs,
+)
+from repro.experiments.reporting import (
+    load_result,
+    load_results,
+    save_result,
+    save_results,
+    to_markdown,
+)
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "resolve_scale",
+    "default_scale_name",
+    "FIGURE_RUNNERS",
+    "FigureResult",
+    "MetricsAtCost",
+    "collect_trajectories",
+    "metrics_at_costs",
+    "hd_size_factory",
+    "agg_factory",
+    "capture_recapture_factory",
+    "save_result",
+    "load_result",
+    "save_results",
+    "load_results",
+    "to_markdown",
+]

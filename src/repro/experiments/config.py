@@ -1,0 +1,99 @@
+"""Experiment scales.
+
+The paper's experiments run at m = 200,000 tuples with hundreds of
+replications; that is minutes-to-hours of laptop time per figure.  Every
+figure runner therefore accepts a *scale*:
+
+* ``tiny``  — seconds; used by the test suite;
+* ``small`` — the default for benchmarks; preserves every qualitative
+  relationship (who wins, trends, crossovers) at ~1/10 of the paper's m;
+* ``paper`` — the published parameters (set ``REPRO_FULL=1`` or pass
+  ``--full`` to the CLI).
+
+Scaling m keeps |Dom|/m enormous (2^40-ish domains), so the regime the
+paper studies — database far smaller than its domain — holds at every
+scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Scale", "SCALES", "resolve_scale", "default_scale_name"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    m: int  # synthetic Boolean dataset size
+    yahoo_m: int  # synthetic Yahoo! Auto dataset size
+    n: int  # Boolean attribute count
+    k: int  # interface page size
+    replications: int  # independent sessions per curve
+    budget: int  # query budget per session
+    cost_grid: Tuple[int, ...]  # x-axis points for metric-vs-cost figures
+    m_sweep: Tuple[int, ...]  # Figure 11/12 database sizes
+    k_sweep: Tuple[int, ...]  # Figure 13 page sizes
+
+
+SCALES = {
+    "tiny": Scale(
+        name="tiny",
+        m=2_000,
+        yahoo_m=3_000,
+        n=24,
+        k=20,
+        replications=4,
+        budget=400,
+        cost_grid=(50, 100, 200, 300, 400),
+        m_sweep=(1_000, 2_000, 3_000),
+        k_sweep=(10, 20, 40),
+    ),
+    "small": Scale(
+        name="small",
+        m=20_000,
+        yahoo_m=20_000,
+        n=40,
+        k=100,
+        replications=8,
+        budget=600,
+        cost_grid=(100, 200, 300, 400, 500),
+        m_sweep=(5_000, 10_000, 15_000, 20_000, 25_000, 30_000),
+        k_sweep=(100, 200, 300, 400, 500),
+    ),
+    "paper": Scale(
+        name="paper",
+        m=200_000,
+        yahoo_m=188_790,
+        n=40,
+        k=100,
+        replications=25,
+        budget=1_000,
+        cost_grid=(100, 200, 300, 400, 500),
+        m_sweep=(50_000, 100_000, 150_000, 200_000, 250_000, 300_000),
+        k_sweep=(100, 200, 300, 400, 500),
+    ),
+}
+
+
+def default_scale_name() -> str:
+    """``paper`` when REPRO_FULL is set, else ``small``."""
+    return "paper" if os.environ.get("REPRO_FULL") else "small"
+
+
+def resolve_scale(scale) -> Scale:
+    """Accept a :class:`Scale`, a name, or ``None`` (environment default)."""
+    if scale is None:
+        return SCALES[default_scale_name()]
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,59 @@
+"""One runner per table/figure of the paper's evaluation (Section 6).
+
+:data:`FIGURE_RUNNERS` maps experiment ids to ``run(scale=None, seed=0)``
+callables returning :class:`~repro.experiments.figures.base.FigureResult`.
+"""
+
+from typing import Callable, Dict
+
+from repro.experiments.figures.base import FigureResult, format_cell
+from repro.experiments.figures.fig06_07_08 import run_fig06, run_fig07, run_fig08
+from repro.experiments.figures.fig09_10 import run_fig09, run_fig10
+from repro.experiments.figures.fig11_12 import run_fig11, run_fig12
+from repro.experiments.figures.fig13 import run_fig13
+from repro.experiments.figures.fig14_15 import run_fig14, run_fig15
+from repro.experiments.figures.fig16_17_table import (
+    run_fig16,
+    run_fig17,
+    run_table_r_tradeoff,
+)
+from repro.experiments.figures.fig18_19 import run_fig18, run_fig19
+
+FIGURE_RUNNERS: Dict[str, Callable[..., FigureResult]] = {
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "table_r": run_table_r_tradeoff,
+    "fig18": run_fig18,
+    "fig19": run_fig19,
+}
+
+__all__ = [
+    "FigureResult",
+    "format_cell",
+    "FIGURE_RUNNERS",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_table_r_tradeoff",
+    "run_fig18",
+    "run_fig19",
+]

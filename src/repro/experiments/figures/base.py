@@ -1,0 +1,68 @@
+"""Common result container for figure/table runners."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["FigureResult", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly cell rendering (scientific notation for big floats)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class FigureResult:
+    """Rows/series regenerating one of the paper's tables or figures."""
+
+    figure_id: str  # e.g. "fig06"
+    title: str
+    columns: List[str]
+    rows: List[Sequence[Any]]
+    notes: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        """Aligned plain-text rendering (what the benchmarks print)."""
+        header = [str(c) for c in self.columns]
+        body = [[format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.figure_id}: {self.title} ==",
+            "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            "  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in body
+        )
+        if self.notes:
+            lines.append(f"-- {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (for assertions in tests/benches)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+            "notes": self.notes,
+            "meta": dict(self.meta),
+        }

@@ -1,0 +1,147 @@
+"""Figures 6, 7 and 8: size estimation on the Boolean datasets.
+
+One shared computation feeds all three figures (the paper plots the same
+runs three ways):
+
+* **Figure 6** — MSE vs query cost for CAPTURE-&-RECAPTURE,
+  BOOL-UNBIASED-SIZE and HD-UNBIASED-SIZE on Bool-iid and Bool-mixed;
+* **Figure 7** — relative error vs query cost for the two unbiased
+  estimators;
+* **Figure 8** — error bars (mean ± std of estimate/truth) for
+  HD-UNBIASED-SIZE.
+
+HD parameters follow the paper: r = 4, D_UB = 2^5.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.datasets.synthetic import bool_iid, bool_mixed
+from repro.experiments.config import resolve_scale
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.harness import (
+    MetricsAtCost,
+    capture_recapture_factory,
+    collect_trajectories,
+    hd_size_factory,
+    metrics_at_costs,
+)
+
+__all__ = ["run_fig06", "run_fig07", "run_fig08"]
+
+_HD_R = 4
+_HD_DUB = 32
+
+
+@lru_cache(maxsize=4)
+def _compute(scale_name: str, seed: int) -> Dict[str, List[MetricsAtCost]]:
+    """Metrics for every (estimator, dataset) pair, cached per scale/seed."""
+    scale = resolve_scale(scale_name)
+    datasets = {
+        "iid": bool_iid(m=scale.m, n=scale.n, seed=seed),
+        "mixed": bool_mixed(m=scale.m, n=scale.n, seed=seed + 1),
+    }
+    # Error bars (Fig 8) extend to twice the MSE-figure budget, as in the
+    # paper (Fig 6/7 stop at 500 queries, Fig 8 at 1,000).
+    budget = scale.budget * 2
+    costs = tuple(scale.cost_grid) + tuple(2 * c for c in scale.cost_grid)
+    costs = tuple(sorted(set(costs)))
+    out: Dict[str, List[MetricsAtCost]] = {}
+    for ds_name, table in datasets.items():
+        truth = float(table.num_tuples)
+        factories = {
+            "C&R": capture_recapture_factory(table, scale.k, budget),
+            "BOOL": hd_size_factory(
+                table, scale.k, budget, r=1, dub=None, weight_adjustment=False
+            ),
+            "HD": hd_size_factory(
+                table, scale.k, budget, r=_HD_R, dub=_HD_DUB,
+                weight_adjustment=True,
+            ),
+        }
+        offsets = {"C&R": 101, "BOOL": 202, "HD": 303}
+        for est_name, factory in factories.items():
+            trajectories = collect_trajectories(
+                factory, scale.replications, base_seed=seed + offsets[est_name]
+            )
+            out[f"{est_name}-{ds_name}"] = metrics_at_costs(
+                trajectories, truth, costs
+            )
+    return out
+
+
+def run_fig06(scale=None, seed: int = 0) -> FigureResult:
+    """MSE vs query cost (Figure 6)."""
+    scale_obj = resolve_scale(scale)
+    metrics = _compute(scale_obj.name, seed)
+    series = ["C&R-mixed", "BOOL-mixed", "HD-mixed", "C&R-iid", "BOOL-iid", "HD-iid"]
+    grid = scale_obj.cost_grid
+    rows = []
+    for i, cost in enumerate(grid):
+        row: List = [cost]
+        for name in series:
+            point = next(p for p in metrics[name] if p.cost == cost)
+            row.append(point.mse)
+        rows.append(tuple(row))
+    return FigureResult(
+        figure_id="fig06",
+        title="MSE vs query cost (Bool-iid / Bool-mixed)",
+        columns=["query_cost"] + [f"MSE[{s}]" for s in series],
+        rows=rows,
+        notes=f"scale={scale_obj.name}, m={scale_obj.m}, k={scale_obj.k}, "
+              f"HD: r={_HD_R}, DUB={_HD_DUB}",
+        meta={"series": series},
+    )
+
+
+def run_fig07(scale=None, seed: int = 0) -> FigureResult:
+    """Relative error vs query cost (Figure 7)."""
+    scale_obj = resolve_scale(scale)
+    metrics = _compute(scale_obj.name, seed)
+    series = ["BOOL-mixed", "HD-mixed", "BOOL-iid", "HD-iid"]
+    rows = []
+    for cost in scale_obj.cost_grid:
+        row: List = [cost]
+        for name in series:
+            point = next(p for p in metrics[name] if p.cost == cost)
+            row.append(100.0 * point.mean_relative_error)
+        rows.append(tuple(row))
+    return FigureResult(
+        figure_id="fig07",
+        title="Relative error (%) vs query cost",
+        columns=["query_cost"] + [f"relerr%[{s}]" for s in series],
+        rows=rows,
+        notes=f"scale={scale_obj.name}",
+        meta={"series": series},
+    )
+
+
+def run_fig08(scale=None, seed: int = 0) -> FigureResult:
+    """Error bars of relative size for HD-UNBIASED-SIZE (Figure 8)."""
+    scale_obj = resolve_scale(scale)
+    metrics = _compute(scale_obj.name, seed)
+    rows = []
+    costs = sorted(
+        set(scale_obj.cost_grid) | {2 * c for c in scale_obj.cost_grid}
+    )
+    for cost in costs:
+        row: List = [cost]
+        for name in ("HD-mixed", "HD-iid"):
+            point = next(p for p in metrics[name] if p.cost == cost)
+            row.extend(
+                [point.mean_estimate / scale_obj.m, point.std_estimate / scale_obj.m]
+            )
+        rows.append(tuple(row))
+    return FigureResult(
+        figure_id="fig08",
+        title="Relative size error bars, HD-UNBIASED-SIZE",
+        columns=[
+            "query_cost",
+            "relsize[HD-mixed]", "std[HD-mixed]",
+            "relsize[HD-iid]", "std[HD-iid]",
+        ],
+        rows=rows,
+        notes=f"scale={scale_obj.name}; relative size = estimate / true m",
+    )

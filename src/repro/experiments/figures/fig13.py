@@ -1,0 +1,57 @@
+"""Figure 13: effect of the interface page size k.
+
+HD-UNBIASED-SIZE on Bool-iid with k swept upward.  A larger page means
+shallower top-valid nodes — both the MSE and the query cost drop, which is
+the paper's observation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.estimators import HDUnbiasedSize
+from repro.datasets.synthetic import bool_iid
+from repro.experiments.config import resolve_scale
+from repro.experiments.figures.base import FigureResult
+from repro.hidden_db.counters import HiddenDBClient
+from repro.hidden_db.interface import TopKInterface
+
+__all__ = ["run_fig13"]
+
+_R = 4
+_DUB = 32
+_ROUNDS = 12
+
+
+@lru_cache(maxsize=4)
+def _compute(scale_name: str, seed: int):
+    scale = resolve_scale(scale_name)
+    table = bool_iid(m=scale.m, n=scale.n, seed=seed)
+    rows = []
+    for k in scale.k_sweep:
+        estimates = []
+        costs = []
+        for rep in range(scale.replications):
+            client = HiddenDBClient(TopKInterface(table, k))
+            estimator = HDUnbiasedSize(client, r=_R, dub=_DUB, seed=seed + 13 * rep)
+            result = estimator.run(rounds=_ROUNDS)
+            estimates.append(result.mean)
+            costs.append(result.total_cost)
+        errors = np.asarray(estimates) - table.num_tuples
+        rows.append((k, float(np.mean(errors**2)), float(np.mean(costs))))
+    return rows
+
+
+def run_fig13(scale=None, seed: int = 0) -> FigureResult:
+    """MSE and query cost vs k (Figure 13)."""
+    scale_obj = resolve_scale(scale)
+    return FigureResult(
+        figure_id="fig13",
+        title="MSE and query cost vs interface page size k",
+        columns=["k", "MSE", "query_cost"],
+        rows=_compute(scale_obj.name, seed),
+        notes=f"scale={scale_obj.name}, Bool-iid, r={_R}, DUB={_DUB}, "
+              f"rounds/session={_ROUNDS}",
+    )

@@ -1,0 +1,107 @@
+"""Figures 14 and 15: the Yahoo! Auto ablation.
+
+Figure 14 isolates the contribution of weight adjustment (WA) and
+divide-&-conquer (D&C) on the categorical offline Yahoo! Auto dataset by
+running the four combinations (the paper: r = 5, D_UB = 16; D&C is
+disabled by setting r = 1).  Figure 15 shows the error bars of the full
+estimator.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.datasets.yahoo_auto import yahoo_auto
+from repro.experiments.config import resolve_scale
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.harness import (
+    MetricsAtCost,
+    collect_trajectories,
+    hd_size_factory,
+    metrics_at_costs,
+)
+
+__all__ = ["run_fig14", "run_fig15", "ABLATION_VARIANTS"]
+
+_R = 5
+_DUB = 16
+
+#: name -> (divide&conquer on?, weight adjustment on?)
+ABLATION_VARIANTS = {
+    "w/o D&C, w/o WA": (False, False),
+    "w/o D&C, w/ WA": (False, True),
+    "w/ D&C, w/o WA": (True, False),
+    "w/ D&C, w/ WA": (True, True),
+}
+
+
+@lru_cache(maxsize=4)
+def _compute(scale_name: str, seed: int):
+    scale = resolve_scale(scale_name)
+    table = yahoo_auto(m=scale.yahoo_m, seed=seed + 2007)
+    truth = float(table.num_tuples)
+    budget = scale.budget * 2
+    costs = tuple(sorted(set(scale.cost_grid) | {2 * c for c in scale.cost_grid}))
+    metrics: Dict[str, List[MetricsAtCost]] = {}
+    for i, (name, (use_dnc, use_wa)) in enumerate(ABLATION_VARIANTS.items()):
+        factory = hd_size_factory(
+            table,
+            scale.k,
+            budget,
+            r=_R if use_dnc else 1,
+            dub=_DUB if use_dnc else None,
+            weight_adjustment=use_wa,
+        )
+        trajectories = collect_trajectories(
+            factory, scale.replications, base_seed=seed + 17 * (i + 1)
+        )
+        metrics[name] = metrics_at_costs(trajectories, truth, costs)
+    return metrics, truth
+
+
+def run_fig14(scale=None, seed: int = 0) -> FigureResult:
+    """WA/D&C ablation: MSE vs query cost on Yahoo! Auto (Figure 14).
+
+    The paper's x-axis spans 200-900 queries; one full divide-&-conquer
+    pass costs a few hundred queries, so the displayed grid extends to
+    twice the base budget (as Figures 8/15 do) to cover multiple passes.
+    """
+    scale_obj = resolve_scale(scale)
+    metrics, _ = _compute(scale_obj.name, seed)
+    rows = []
+    grid = sorted(set(scale_obj.cost_grid) | {2 * c for c in scale_obj.cost_grid})
+    for cost in grid:
+        row: List = [cost]
+        for name in ABLATION_VARIANTS:
+            point = next(p for p in metrics[name] if p.cost == cost)
+            row.append(point.mse)
+        rows.append(tuple(row))
+    return FigureResult(
+        figure_id="fig14",
+        title="Ablation of WA and D&C on Yahoo! Auto: MSE vs query cost",
+        columns=["query_cost"] + [f"MSE[{n}]" for n in ABLATION_VARIANTS],
+        rows=rows,
+        notes=f"scale={scale_obj.name}, r={_R} (1 when D&C off), DUB={_DUB}",
+    )
+
+
+def run_fig15(scale=None, seed: int = 0) -> FigureResult:
+    """Error bars of the full estimator on Yahoo! Auto (Figure 15)."""
+    scale_obj = resolve_scale(scale)
+    metrics, truth = _compute(scale_obj.name, seed)
+    full = metrics["w/ D&C, w/ WA"]
+    costs = sorted(set(scale_obj.cost_grid) | {2 * c for c in scale_obj.cost_grid})
+    rows = []
+    for cost in costs:
+        point = next(p for p in full if p.cost == cost)
+        rows.append(
+            (cost, point.mean_estimate / truth, point.std_estimate / truth)
+        )
+    return FigureResult(
+        figure_id="fig15",
+        title="Relative size error bars on Yahoo! Auto (w/ D&C, w/ WA)",
+        columns=["query_cost", "relsize", "std"],
+        rows=rows,
+        notes=f"scale={scale_obj.name}; relative size = estimate / true m",
+    )

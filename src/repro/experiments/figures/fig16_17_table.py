@@ -1,0 +1,121 @@
+"""Figures 16, 17 and the Section-6.2 r-tradeoff table: parameter studies.
+
+All three run HD-UNBIASED-SIZE on the offline Yahoo! Auto dataset:
+
+* **Figure 16** — sweep r (drill downs per subtree) at D_UB = 16: more
+  drill downs per subtree cost more queries and cut the variance;
+* **Figure 17** — sweep D_UB at r = 5: a coarser partition (larger D_UB)
+  costs fewer queries but raises the MSE;
+* **Table §6.2** — sweep r at *matched* query budgets (sessions are
+  repeated until a common budget is spent) showing the MSE/cost tradeoff is
+  insensitive to r.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimators import HDUnbiasedSize
+from repro.datasets.yahoo_auto import yahoo_auto
+from repro.experiments.config import resolve_scale
+from repro.experiments.figures.base import FigureResult
+from repro.hidden_db.counters import HiddenDBClient
+from repro.hidden_db.interface import TopKInterface
+
+__all__ = ["run_fig16", "run_fig17", "run_table_r_tradeoff"]
+
+_ROUNDS = 8
+
+
+def _session_stats(
+    table, k: int, r: int, dub: Optional[int], seed: int, replications: int,
+    rounds: int = _ROUNDS, query_budget: Optional[int] = None,
+) -> Tuple[float, float]:
+    """(MSE of session means, mean session cost) over replications."""
+    estimates: List[float] = []
+    costs: List[float] = []
+    for rep in range(replications):
+        client = HiddenDBClient(TopKInterface(table, k))
+        estimator = HDUnbiasedSize(client, r=r, dub=dub, seed=seed + 41 * rep)
+        result = estimator.run(
+            rounds=None if query_budget is not None else rounds,
+            query_budget=query_budget,
+        )
+        estimates.append(result.mean)
+        costs.append(result.total_cost)
+    errors = np.asarray(estimates) - table.num_tuples
+    return float(np.mean(errors**2)), float(np.mean(costs))
+
+
+@lru_cache(maxsize=4)
+def _table(scale_name: str, seed: int):
+    scale = resolve_scale(scale_name)
+    return yahoo_auto(m=scale.yahoo_m, seed=seed + 2007)
+
+
+def run_fig16(scale=None, seed: int = 0) -> FigureResult:
+    """MSE and query cost vs r (Figure 16; D_UB = 16)."""
+    scale_obj = resolve_scale(scale)
+    table = _table(scale_obj.name, seed)
+    rows = []
+    for r in (4, 5, 6, 7, 8):
+        mse, cost = _session_stats(
+            table, scale_obj.k, r=r, dub=16, seed=seed + r,
+            replications=scale_obj.replications,
+        )
+        rows.append((r, mse, cost))
+    return FigureResult(
+        figure_id="fig16",
+        title="Effect of r (drill downs per subtree) on Yahoo! Auto",
+        columns=["r", "MSE", "query_cost"],
+        rows=rows,
+        notes=f"scale={scale_obj.name}, DUB=16, rounds/session={_ROUNDS}",
+    )
+
+
+def run_fig17(scale=None, seed: int = 0) -> FigureResult:
+    """MSE and query cost vs D_UB (Figure 17; r = 5)."""
+    scale_obj = resolve_scale(scale)
+    table = _table(scale_obj.name, seed)
+    full_domain = table.schema.domain_size()
+    sweep: List[Optional[int]] = [16, 64, 256, 1024, 16384]
+    sweep.append(None)  # DUB = |Dom|: divide-&-conquer disabled
+    rows = []
+    for dub in sweep:
+        mse, cost = _session_stats(
+            table, scale_obj.k, r=5, dub=dub, seed=seed + (dub or 0),
+            replications=scale_obj.replications,
+        )
+        label = dub if dub is not None else f"|Dom|={float(full_domain):.2e}"
+        rows.append((label, mse, cost))
+    return FigureResult(
+        figure_id="fig17",
+        title="Effect of D_UB on Yahoo! Auto",
+        columns=["DUB", "MSE", "query_cost"],
+        rows=rows,
+        notes=f"scale={scale_obj.name}, r=5, rounds/session={_ROUNDS}",
+    )
+
+
+def run_table_r_tradeoff(scale=None, seed: int = 0) -> FigureResult:
+    """The unnumbered Section-6.2 table: r vs (cost, MSE) at matched budgets."""
+    scale_obj = resolve_scale(scale)
+    table = _table(scale_obj.name, seed)
+    rows = []
+    for r in (3, 4, 5, 6, 7, 8):
+        mse, cost = _session_stats(
+            table, scale_obj.k, r=r, dub=16, seed=seed + 100 + r,
+            replications=scale_obj.replications,
+            query_budget=scale_obj.budget,
+        )
+        rows.append((r, cost, mse))
+    return FigureResult(
+        figure_id="table_r",
+        title="Section 6.2 table: MSE/query-cost tradeoff vs r at matched budgets",
+        columns=["r", "query_cost", "MSE"],
+        rows=rows,
+        notes=f"scale={scale_obj.name}, DUB=16, budget={scale_obj.budget}/session",
+    )

@@ -1,0 +1,189 @@
+"""Replication harness: estimator sessions → metric-vs-query-cost curves.
+
+The paper evaluates estimators by running independent sessions and plotting
+MSE / relative error / error bars of the *running estimate* against the
+cumulative number of issued queries.  This module provides the generic
+machinery: session factories producing ``(cost, running estimate)``
+trajectories, and a grid evaluator that reads every trajectory at fixed
+budgets and aggregates the error metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.capture_recapture import CaptureRecaptureEstimator
+from repro.baselines.hidden_db_sampler import HiddenDBSampler
+from repro.core.estimators import HDUnbiasedAgg, HDUnbiasedSize
+from repro.hidden_db.counters import HiddenDBClient
+from repro.hidden_db.interface import TopKInterface
+from repro.hidden_db.table import HiddenTable
+from repro.utils.stats import StreamingMeanSeries
+
+__all__ = [
+    "MetricsAtCost",
+    "TrajectoryFactory",
+    "collect_trajectories",
+    "metrics_at_costs",
+    "hd_size_factory",
+    "agg_factory",
+    "capture_recapture_factory",
+]
+
+#: Builds one independent session trajectory from a seed.
+TrajectoryFactory = Callable[[int], StreamingMeanSeries]
+
+
+@dataclass
+class MetricsAtCost:
+    """Replication metrics of one estimator at one query budget."""
+
+    cost: int
+    mse: float
+    mean_relative_error: float  # mean of |est-truth|/truth over replications
+    mean_estimate: float
+    std_estimate: float  # std over replications (the paper's error bars)
+    replications: int  # replications that reached this budget
+
+
+def collect_trajectories(
+    factory: TrajectoryFactory,
+    replications: int,
+    base_seed: int,
+) -> List[StreamingMeanSeries]:
+    """Run *replications* independent sessions."""
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    return [factory(base_seed + 7919 * i) for i in range(replications)]
+
+
+def metrics_at_costs(
+    trajectories: Sequence[StreamingMeanSeries],
+    truth: float,
+    costs: Sequence[int],
+) -> List[MetricsAtCost]:
+    """Evaluate replication error metrics at each budget in *costs*.
+
+    A trajectory contributes at budget c only if it has produced at least
+    one estimate by then (step interpolation; NaN otherwise).
+    """
+    out: List[MetricsAtCost] = []
+    for cost in costs:
+        values = np.array(
+            [t.value_at(cost) for t in trajectories], dtype=float
+        )
+        values = values[~np.isnan(values)]
+        # Schnabel estimates can be inf before the first recapture; treat
+        # them as missing at this budget (the paper's C&R points simply sit
+        # off the chart there).
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            out.append(
+                MetricsAtCost(cost, float("nan"), float("nan"), float("nan"),
+                              float("nan"), 0)
+            )
+            continue
+        errors = values - truth
+        out.append(
+            MetricsAtCost(
+                cost=cost,
+                mse=float(np.mean(errors**2)),
+                mean_relative_error=float(np.mean(np.abs(errors)) / truth),
+                mean_estimate=float(np.mean(values)),
+                std_estimate=float(np.std(values, ddof=1)) if values.size > 1 else 0.0,
+                replications=int(values.size),
+            )
+        )
+    return out
+
+
+# -- session factories ----------------------------------------------------
+
+
+def hd_size_factory(
+    table: HiddenTable,
+    k: int,
+    budget: int,
+    r: int = 4,
+    dub: Optional[int] = 32,
+    weight_adjustment: bool = True,
+    condition=None,
+    attribute_order=None,
+) -> TrajectoryFactory:
+    """Sessions of :class:`HDUnbiasedSize` (or its ablations) on *table*.
+
+    Every session gets a fresh interface/client (no cross-session cache
+    leakage) and runs rounds until *budget* queries.
+    """
+
+    def factory(seed: int) -> StreamingMeanSeries:
+        client = HiddenDBClient(TopKInterface(table, k))
+        estimator = HDUnbiasedSize(
+            client,
+            r=r,
+            dub=dub,
+            weight_adjustment=weight_adjustment,
+            condition=condition,
+            attribute_order=attribute_order,
+            seed=seed,
+        )
+        return estimator.run(query_budget=budget).trajectory
+
+    return factory
+
+
+def agg_factory(
+    table: HiddenTable,
+    k: int,
+    budget: int,
+    aggregate: str,
+    measure: Optional[str] = None,
+    r: int = 4,
+    dub: Optional[int] = 32,
+    weight_adjustment: bool = True,
+    condition=None,
+) -> TrajectoryFactory:
+    """Sessions of :class:`HDUnbiasedAgg` on *table*."""
+
+    def factory(seed: int) -> StreamingMeanSeries:
+        client = HiddenDBClient(TopKInterface(table, k))
+        estimator = HDUnbiasedAgg(
+            client,
+            aggregate=aggregate,
+            measure=measure,
+            r=r,
+            dub=dub,
+            weight_adjustment=weight_adjustment,
+            condition=condition,
+            seed=seed,
+        )
+        return estimator.run(query_budget=budget).trajectory
+
+    return factory
+
+
+def capture_recapture_factory(
+    table: HiddenTable,
+    k: int,
+    budget: int,
+) -> TrajectoryFactory:
+    """Sessions of CAPTURE-&-RECAPTURE over HIDDEN-DB-SAMPLER.
+
+    The 2007 sampler restarts from the root on every underflow and
+    re-issues the repeated queries — that inefficiency is part of what the
+    paper measures — so its client runs *uncached*, and a hard counter
+    limit enforces the budget even mid-walk.
+    """
+    from repro.hidden_db.counters import QueryCounter
+
+    def factory(seed: int) -> StreamingMeanSeries:
+        interface = TopKInterface(table, k, counter=QueryCounter(limit=budget))
+        client = HiddenDBClient(interface, cache=False)
+        sampler = HiddenDBSampler(client, seed=seed)
+        estimator = CaptureRecaptureEstimator(sampler)
+        return estimator.run(query_budget=budget).trajectory
+
+    return factory

@@ -1,0 +1,76 @@
+"""Persistence and rendering of experiment results.
+
+Figure runners return in-memory :class:`FigureResult` objects; this module
+round-trips them through JSON (so paper-scale runs can be archived and
+diffed across code versions) and renders them as Markdown for reports like
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.experiments.figures.base import FigureResult, format_cell
+
+__all__ = [
+    "save_result",
+    "load_result",
+    "save_results",
+    "load_results",
+    "to_markdown",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_result(result: FigureResult, directory: PathLike) -> Path:
+    """Write one result as ``<figure_id>.json`` under *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.figure_id}.json"
+    with open(path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+    return path
+
+
+def load_result(path: PathLike) -> FigureResult:
+    """Read one result back from a JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        columns=list(payload["columns"]),
+        rows=[tuple(row) for row in payload["rows"]],
+        notes=payload.get("notes", ""),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def save_results(results: Iterable[FigureResult], directory: PathLike) -> List[Path]:
+    """Persist a batch of results; returns the written paths."""
+    return [save_result(result, directory) for result in results]
+
+
+def load_results(directory: PathLike) -> Dict[str, FigureResult]:
+    """Load every ``*.json`` result in *directory*, keyed by figure id."""
+    directory = Path(directory)
+    out: Dict[str, FigureResult] = {}
+    for path in sorted(directory.glob("*.json")):
+        result = load_result(path)
+        out[result.figure_id] = result
+    return out
+
+
+def to_markdown(result: FigureResult) -> str:
+    """GitHub-flavoured Markdown table for one result."""
+    header = "| " + " | ".join(str(c) for c in result.columns) + " |"
+    divider = "|" + "|".join(" --- " for _ in result.columns) + "|"
+    lines = [f"### {result.figure_id}: {result.title}", "", header, divider]
+    for row in result.rows:
+        lines.append("| " + " | ".join(format_cell(v) for v in row) + " |")
+    if result.notes:
+        lines.extend(["", f"*{result.notes}*"])
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Query accounting and the client-side caching layer.
+
+The paper's efficiency metric is the number of queries issued through the
+web interface (Section 2.2).  :class:`QueryCounter` does the server-side
+book-keeping (with an optional hard budget, like Yahoo! Auto's 1,000
+queries/IP/day); :class:`HiddenDBClient` is the rational client wrapper the
+estimators talk to — it memoises result pages so re-asking a known query is
+free, and it tracks the cost actually charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.hidden_db.exceptions import QueryLimitExceeded
+from repro.hidden_db.query import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hidden_db.interface import QueryResult, TopKInterface
+
+__all__ = ["QueryCounter", "HiddenDBClient"]
+
+
+@dataclass
+class QueryCounter:
+    """Counts queries charged by an interface, with an optional hard limit."""
+
+    limit: Optional[int] = None
+    issued: int = 0
+    keep_history: bool = False
+    history: List[ConjunctiveQuery] = field(default_factory=list)
+
+    def charge(self, query: ConjunctiveQuery) -> None:
+        """Charge one query; raise :class:`QueryLimitExceeded` over budget."""
+        if self.limit is not None and self.issued >= self.limit:
+            raise QueryLimitExceeded(
+                f"query budget of {self.limit} exhausted"
+            )
+        self.issued += 1
+        if self.keep_history:
+            self.history.append(query)
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Queries left in the budget (``None`` when unlimited)."""
+        if self.limit is None:
+            return None
+        return max(0, self.limit - self.issued)
+
+    def reset(self) -> None:
+        """Zero the counter (e.g. a new day for a daily limit)."""
+        self.issued = 0
+        self.history.clear()
+
+
+class HiddenDBClient:
+    """Client-side view of a hidden database: interface + result cache.
+
+    All estimators take a client, never a raw interface.  The client:
+
+    * submits queries through the interface and **caches every result page**
+      keyed by the canonical conjunction, so repeated queries cost nothing
+      (drill downs over the same subtree share their upper levels);
+    * exposes ``cost`` — the number of queries actually charged — which is
+      the x-axis of every figure in the paper;
+    * supports checkpointing costs so an experiment can attribute queries to
+      individual drill downs.
+    """
+
+    def __init__(
+        self,
+        interface: "TopKInterface",
+        cache: bool = True,
+        retries: int = 0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.interface = interface
+        self._use_cache = cache
+        self._cache: Dict[frozenset, "QueryResult"] = {}
+        self.cache_hits = 0
+        self.retries = retries
+        self.retries_performed = 0
+
+    # -- identity of the underlying form --------------------------------
+
+    @property
+    def schema(self):
+        """Schema of the underlying form."""
+        return self.interface.schema
+
+    @property
+    def k(self) -> int:
+        """Result-page size of the underlying form."""
+        return self.interface.k
+
+    @property
+    def cost(self) -> int:
+        """Queries charged so far by the server.
+
+        For interfaces with a rolling (e.g. daily) counter, the lifetime
+        total is used, so the cost never appears to reset mid-session.
+        """
+        total = getattr(self.interface, "total_issued", None)
+        if total is not None:
+            return int(total)
+        return self.interface.counter.issued
+
+    # -- querying --------------------------------------------------------
+
+    def query(self, q: ConjunctiveQuery) -> "QueryResult":
+        """Submit *q*, serving it from cache when possible.
+
+        Transient server errors (see :mod:`repro.hidden_db.flaky`) are
+        retried up to ``retries`` times; the final failure propagates.
+        Retrying is sound — a failed submission reveals nothing about the
+        data, so unbiasedness is untouched.
+        """
+        from repro.hidden_db.flaky import TransientServerError
+
+        if self._use_cache:
+            hit = self._cache.get(q.key)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                result = self.interface.query(q)
+                break
+            except TransientServerError:
+                if attempt + 1 >= attempts:
+                    raise
+                self.retries_performed += 1
+        if self._use_cache:
+            self._cache[q.key] = result
+        return result
+
+    def is_cached(self, q: ConjunctiveQuery) -> bool:
+        """True when *q* would be answered without charging the server."""
+        return self._use_cache and q.key in self._cache
+
+    def clear_cache(self) -> None:
+        """Drop the client cache (simulates a fresh session)."""
+        self._cache.clear()
+        self.cache_hits = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HiddenDBClient(cost={self.cost}, cached={len(self._cache)}, "
+            f"hits={self.cache_hits})"
+        )

@@ -1,0 +1,146 @@
+"""Discretisation of numeric columns into categorical search attributes.
+
+Section 2.1: *"we assume that numerical data can be appropriately
+discretized to resemble categorical data"*.  Real hidden-database forms do
+exactly this — a price field becomes a drop-down of ranges.  This module
+provides the two standard bucketings and a helper that rebuilds a
+:class:`~repro.hidden_db.table.HiddenTable` with numeric measure columns
+promoted to searchable range attributes.
+
+>>> from repro.hidden_db.discretize import equi_width_edges, bucketise
+>>> edges = equi_width_edges([1.0, 9.0, 5.0], buckets=2)
+>>> list(bucketise([1.0, 9.0, 5.0], edges))
+[0, 1, 1]
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hidden_db.exceptions import SchemaError
+from repro.hidden_db.schema import Attribute, Schema
+from repro.hidden_db.table import HiddenTable
+
+__all__ = [
+    "equi_width_edges",
+    "equi_depth_edges",
+    "bucketise",
+    "bucket_labels",
+    "promote_measure_to_attribute",
+]
+
+
+def equi_width_edges(values: Sequence[float], buckets: int) -> np.ndarray:
+    """Interior edges of *buckets* equal-width intervals covering *values*.
+
+    Returns ``buckets - 1`` strictly increasing cut points; ties collapse
+    (fewer effective buckets) when the data range is degenerate.
+    """
+    if buckets < 2:
+        raise SchemaError("need at least 2 buckets")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise SchemaError("cannot discretise an empty column")
+    low, high = float(arr.min()), float(arr.max())
+    if low == high:
+        return np.array([low])
+    return np.linspace(low, high, buckets + 1)[1:-1]
+
+
+def equi_depth_edges(values: Sequence[float], buckets: int) -> np.ndarray:
+    """Interior edges of (approximately) equal-population intervals.
+
+    Quantile cuts; duplicate cuts are merged and cuts that separate nothing
+    (at or below the minimum, above the maximum) are dropped, so heavily
+    tied data yields fewer effective buckets — the behaviour a form
+    designer would pick.  If every quantile collapses (e.g. >75% of the
+    mass on a single value), falls back to equal-width cuts so the result
+    still splits the data.
+    """
+    if buckets < 2:
+        raise SchemaError("need at least 2 buckets")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise SchemaError("cannot discretise an empty column")
+    quantiles = np.linspace(0, 1, buckets + 1)[1:-1]
+    edges = np.unique(np.quantile(arr, quantiles))
+    low, high = float(arr.min()), float(arr.max())
+    edges = edges[(edges > low) & (edges <= high)]
+    if edges.size == 0:
+        return equi_width_edges(arr, buckets)
+    return edges
+
+
+def bucketise(values: Sequence[float], edges: Sequence[float]) -> np.ndarray:
+    """Map each value to its bucket index under the given interior *edges*.
+
+    Bucket ``i`` holds values in ``[edges[i-1], edges[i])`` (half-open, so
+    a value equal to a cut point belongs to the *upper* bucket, matching
+    the ``< x`` / ``x - y`` / ``>= y`` range labels); indices run
+    ``0 .. len(edges)``.
+    """
+    return np.searchsorted(np.asarray(edges, dtype=float),
+                           np.asarray(values, dtype=float), side="right")
+
+
+def bucket_labels(edges: Sequence[float], unit: str = "") -> Tuple[str, ...]:
+    """Human-readable range labels, e.g. ``('< 10k', '10k - 20k', ...)``."""
+    edges = [float(e) for e in edges]
+    if not edges:
+        return ("all",)
+    labels: List[str] = [f"< {edges[0]:g}{unit}"]
+    for low, high in zip(edges, edges[1:]):
+        labels.append(f"{low:g}{unit} - {high:g}{unit}")
+    labels.append(f">= {edges[-1]:g}{unit}")
+    return tuple(labels)
+
+
+def promote_measure_to_attribute(
+    table: HiddenTable,
+    measure: str,
+    buckets: int,
+    method: str = "equi_depth",
+    keep_measure: bool = True,
+) -> HiddenTable:
+    """A new table whose *measure* column is also a searchable attribute.
+
+    This is how a numeric field (price, mileage) enters the paper's
+    categorical model: the form offers its ranges as a drop-down.  The new
+    range attribute is appended after the existing attributes; the raw
+    numeric column stays available as a measure unless ``keep_measure`` is
+    False.
+
+    Note that promoting a measure can create duplicate searchable rows only
+    if the original attributes already collided — impossible for the
+    deduplicated generators — so the no-duplicates invariant is preserved.
+    """
+    if method == "equi_width":
+        edge_fn = equi_width_edges
+    elif method == "equi_depth":
+        edge_fn = equi_depth_edges
+    else:
+        raise SchemaError(f"unknown discretisation method {method!r}")
+    column = np.asarray(table.measure(measure), dtype=float)
+    edges = edge_fn(column, buckets)
+    codes = bucketise(column, edges)
+    domain = int(len(edges) + 1)
+    if domain < 2:
+        raise SchemaError(
+            f"measure {measure!r} is constant; cannot form a search range"
+        )
+    new_attr = Attribute(
+        f"{measure}_RANGE", domain, labels=bucket_labels(edges)
+    )
+    measures = {
+        name: np.array(table.measure(name))
+        for name in table.schema.measure_names
+        if keep_measure or name != measure
+    }
+    schema = Schema(
+        list(table.schema.attributes) + [new_attr],
+        measure_names=tuple(measures),
+    )
+    data = np.column_stack([np.asarray(table.data), codes.astype(np.int64)])
+    return HiddenTable(schema, data, measures)

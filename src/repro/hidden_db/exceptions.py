@@ -1,0 +1,39 @@
+"""Exceptions raised by the hidden-database substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "HiddenDBError",
+    "SchemaError",
+    "InvalidQueryError",
+    "QueryLimitExceeded",
+    "QueryRejected",
+]
+
+
+class HiddenDBError(Exception):
+    """Base class for all errors raised by :mod:`repro.hidden_db`."""
+
+
+class SchemaError(HiddenDBError):
+    """A schema definition is malformed (duplicate names, empty domains...)."""
+
+
+class InvalidQueryError(HiddenDBError):
+    """A query references unknown attributes or out-of-domain values."""
+
+
+class QueryLimitExceeded(HiddenDBError):
+    """The per-user query budget of the interface has been exhausted.
+
+    Mirrors real hidden databases imposing per-IP daily limits (the paper
+    cites Yahoo! Auto's 1,000 queries per IP per day).
+    """
+
+
+class QueryRejected(HiddenDBError):
+    """The form refused the query (e.g. a required attribute was missing).
+
+    Mirrors the Yahoo! Auto advanced-search requirement that either
+    MAKE/MODEL or ZIP must be specified.
+    """

@@ -1,0 +1,101 @@
+"""Failure injection: a transiently failing hidden-database server.
+
+Live hidden databases time out, throttle and return 5xx pages.  The
+estimators' correctness argument only needs *eventually answered* queries —
+a failed submission reveals nothing about the data, so retrying cannot bias
+anything — but the query-cost accounting depends on whether the site
+charges failed submissions against the quota (some do).
+
+``FlakyInterface`` wraps any interface and raises
+:class:`TransientServerError` with a seeded probability, optionally
+charging the attempt; :class:`~repro.hidden_db.counters.HiddenDBClient`
+retries up to its ``retries`` budget.  Tests use this to prove the
+estimators survive realistic flakiness unchanged.
+"""
+
+from __future__ import annotations
+
+
+from repro.hidden_db.counters import QueryCounter
+from repro.hidden_db.exceptions import HiddenDBError
+from repro.hidden_db.interface import QueryResult, TopKInterface
+from repro.hidden_db.query import ConjunctiveQuery
+from repro.utils.rng import RandomSource, spawn_rng
+
+__all__ = ["TransientServerError", "FlakyInterface"]
+
+
+class TransientServerError(HiddenDBError):
+    """The server failed to answer this submission (timeout / 5xx).
+
+    Retrying the same query later may succeed; the failure carries no
+    information about the data, so retries do not bias estimation.
+    """
+
+
+class FlakyInterface:
+    """Wraps an interface, failing each submission with fixed probability.
+
+    Parameters
+    ----------
+    interface:
+        The interface to wrap (anything duck-typed like
+        :class:`TopKInterface`).
+    failure_rate:
+        Probability that one submission raises
+        :class:`TransientServerError`.
+    charge_failures:
+        Whether failed submissions still consume query budget (sites that
+        throttle per *request* do charge them).
+    seed:
+        Seed for the failure stream (reproducible chaos).
+    """
+
+    def __init__(
+        self,
+        interface: TopKInterface,
+        failure_rate: float,
+        charge_failures: bool = False,
+        seed: RandomSource = None,
+    ) -> None:
+        if not (0.0 <= failure_rate < 1.0):
+            raise ValueError("failure_rate must be in [0, 1)")
+        self.interface = interface
+        self.failure_rate = failure_rate
+        self.charge_failures = charge_failures
+        self._rng = spawn_rng(seed)
+        self.failures_injected = 0
+
+    # -- interface protocol ----------------------------------------------
+
+    @property
+    def schema(self):
+        """Schema of the wrapped form."""
+        return self.interface.schema
+
+    @property
+    def k(self) -> int:
+        """Page size of the wrapped form."""
+        return self.interface.k
+
+    @property
+    def counter(self) -> QueryCounter:
+        """Counter of the wrapped form."""
+        return self.interface.counter
+
+    def query(self, q: ConjunctiveQuery) -> QueryResult:
+        """Submit *q*, possibly failing transiently."""
+        if self._rng.random() < self.failure_rate:
+            self.failures_injected += 1
+            if self.charge_failures:
+                self.interface.counter.charge(q)
+            raise TransientServerError(
+                f"injected failure #{self.failures_injected}"
+            )
+        return self.interface.query(q)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlakyInterface(rate={self.failure_rate}, "
+            f"failures={self.failures_injected})"
+        )

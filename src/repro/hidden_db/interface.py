@@ -1,0 +1,156 @@
+"""The restrictive top-k web form interface.
+
+This is the only view of the database the estimators are allowed to use.
+Submitting a conjunctive query yields one of three outcomes (Section 2.1):
+
+* **underflow** — no tuple matches; nothing is returned;
+* **valid** — 1..k tuples match; *all* of them are returned;
+* **overflow** — more than k tuples match; the top-k under the ranking
+  function are returned together with an overflow flag.  The true match
+  count is *not* revealed, and there is no page-through.
+
+Every submission is charged to a :class:`~repro.hidden_db.counters.QueryCounter`;
+rational clients wrap the interface in a
+:class:`~repro.hidden_db.counters.HiddenDBClient` that caches results so a
+repeated query is free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.hidden_db.counters import QueryCounter
+from repro.hidden_db.exceptions import InvalidQueryError
+from repro.hidden_db.query import ConjunctiveQuery
+from repro.hidden_db.ranking import RankingFunction, StaticScoreRanking
+from repro.hidden_db.table import HiddenTable
+
+__all__ = ["QueryOutcome", "ReturnedTuple", "QueryResult", "TopKInterface"]
+
+
+class QueryOutcome(enum.Enum):
+    """Classification of a submitted query (Section 2.1)."""
+
+    UNDERFLOW = "underflow"
+    VALID = "valid"
+    OVERFLOW = "overflow"
+
+
+@dataclass(frozen=True)
+class ReturnedTuple:
+    """One tuple as displayed on a result page.
+
+    ``values`` are the searchable attribute values (a result page displays
+    the car's make, colour, options...), ``measures`` the non-searchable
+    numeric fields (price...).  Because the database holds no duplicate
+    tuples, ``values`` uniquely identifies the tuple — capture–recapture
+    uses it as the identity for overlap counting.
+    """
+
+    values: Tuple[int, ...]
+    measures: Dict[str, float]
+
+    def measure(self, name: str) -> float:
+        """Value of measure *name* for this tuple."""
+        return self.measures[name]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """What the web page shows after a query submission."""
+
+    outcome: QueryOutcome
+    tuples: Tuple[ReturnedTuple, ...]
+
+    @property
+    def overflow(self) -> bool:
+        """True when the page carries the "too many results" flag."""
+        return self.outcome is QueryOutcome.OVERFLOW
+
+    @property
+    def underflow(self) -> bool:
+        """True when the page shows no results."""
+        return self.outcome is QueryOutcome.UNDERFLOW
+
+    @property
+    def valid(self) -> bool:
+        """True when all matching tuples are shown (1..k of them)."""
+        return self.outcome is QueryOutcome.VALID
+
+    @property
+    def num_returned(self) -> int:
+        """|q| = min(k, |Sel(q)|) — the number of displayed tuples."""
+        return len(self.tuples)
+
+    def sum_measure(self, name: str) -> float:
+        """Sum of measure *name* over the displayed tuples."""
+        return sum(t.measures[name] for t in self.tuples)
+
+
+class TopKInterface:
+    """Server-side implementation of a top-k search form.
+
+    Parameters
+    ----------
+    table:
+        The backing :class:`HiddenTable`.
+    k:
+        The result-page size (paper default 100).
+    ranking:
+        Ranking function applied when a query overflows.
+    counter:
+        Query-budget accounting; a fresh unlimited counter by default.
+    """
+
+    def __init__(
+        self,
+        table: HiddenTable,
+        k: int,
+        ranking: Optional[RankingFunction] = None,
+        counter: Optional[QueryCounter] = None,
+    ) -> None:
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        self.table = table
+        self.k = int(k)
+        self.ranking = ranking if ranking is not None else StaticScoreRanking()
+        self.counter = counter if counter is not None else QueryCounter()
+
+    @property
+    def schema(self):
+        """The table schema (forms publish their fields)."""
+        return self.table.schema
+
+    def query(self, q: ConjunctiveQuery) -> QueryResult:
+        """Submit *q* through the form and return the result page.
+
+        Raises :class:`QueryLimitExceeded` once the counter's budget is
+        exhausted, mirroring per-IP limits of real hidden databases.
+        """
+        q.validate(self.table.schema)
+        self.counter.charge(q)
+        ids = self.table.selection_ids(q)
+        total = int(ids.size)
+        if total == 0:
+            return QueryResult(QueryOutcome.UNDERFLOW, ())
+        if total <= self.k:
+            shown = np.sort(ids)
+            outcome = QueryOutcome.VALID
+        else:
+            shown = self.ranking.order(ids, self.table)[: self.k]
+            outcome = QueryOutcome.OVERFLOW
+        tuples = tuple(
+            ReturnedTuple(
+                values=self.table.row_values(int(rid)),
+                measures=self.table.row_measures(int(rid)),
+            )
+            for rid in shown
+        )
+        return QueryResult(outcome, tuples)
+
+    def __repr__(self) -> str:
+        return f"TopKInterface(k={self.k}, table={self.table!r})"

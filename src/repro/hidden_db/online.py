@@ -1,0 +1,98 @@
+"""Simulator of a live hidden-database website.
+
+The paper's online experiments ran against the Yahoo! Auto advanced-search
+form, which (a) requires MAKE/MODEL or ZIP to be specified before it will
+process a query and (b) rate-limits each IP to about 1,000 queries per day.
+``OnlineFormSimulator`` reproduces both behaviours on top of any
+:class:`~repro.hidden_db.interface.TopKInterface` so the "online" experiments
+(Figures 18 and 19) can be replayed offline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.hidden_db.counters import QueryCounter
+from repro.hidden_db.exceptions import QueryLimitExceeded, QueryRejected
+from repro.hidden_db.interface import QueryResult, TopKInterface
+from repro.hidden_db.query import ConjunctiveQuery
+
+__all__ = ["OnlineFormSimulator"]
+
+
+class OnlineFormSimulator:
+    """A top-k interface with required attributes and a daily query quota.
+
+    Parameters
+    ----------
+    interface:
+        The underlying form.
+    required_attributes:
+        Indices of attributes of which **at least one** must carry a
+        predicate for the form to accept the query (Yahoo! Auto: MAKE/MODEL
+        or ZIP).  Estimators satisfy this by pinning a required attribute at
+        the top of the query tree, exactly as Section 6.1 describes.
+    daily_limit:
+        Maximum queries per simulated day (default 1,000).
+    """
+
+    def __init__(
+        self,
+        interface: TopKInterface,
+        required_attributes: Sequence[int] = (),
+        daily_limit: Optional[int] = 1000,
+    ) -> None:
+        self.interface = interface
+        self.required_attributes: Tuple[int, ...] = tuple(required_attributes)
+        self.daily_limit = daily_limit
+        self.day = 0
+        self._today = QueryCounter(limit=daily_limit)
+        self.total_issued = 0
+
+    # -- interface protocol (duck-typed like TopKInterface) -------------
+
+    @property
+    def schema(self):
+        """Schema of the underlying form."""
+        return self.interface.schema
+
+    @property
+    def k(self) -> int:
+        """Result-page size of the underlying form."""
+        return self.interface.k
+
+    @property
+    def counter(self) -> QueryCounter:
+        """Counter of queries charged *today*."""
+        return self._today
+
+    def query(self, q: ConjunctiveQuery) -> QueryResult:
+        """Submit a query, enforcing form rules and the daily quota."""
+        if self.required_attributes and not any(
+            q.constrains(a) for a in self.required_attributes
+        ):
+            names = [self.schema[a].name for a in self.required_attributes]
+            raise QueryRejected(
+                f"the form requires one of {names} to be specified"
+            )
+        try:
+            self._today.charge(q)
+        except QueryLimitExceeded:
+            raise QueryLimitExceeded(
+                f"daily limit of {self.daily_limit} queries reached on "
+                f"day {self.day}; call advance_day() to continue"
+            ) from None
+        self.total_issued += 1
+        return self.interface.query(q)
+
+    def advance_day(self) -> None:
+        """Move to the next day, refreshing the daily quota."""
+        self.day += 1
+        self._today = QueryCounter(limit=self.daily_limit)
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineFormSimulator(day={self.day}, "
+            f"today={self._today.issued}/{self.daily_limit}, "
+            f"total={self.total_issued})"
+        )

@@ -1,0 +1,176 @@
+"""Conjunctive query model.
+
+A query is a conjunction of equality predicates, one per distinct attribute:
+``SELECT * FROM D WHERE A_{i1}=v_{i1} AND ... AND A_{is}=v_{is}``
+(Section 2.1).  Queries are immutable and hashable; equality ignores the
+order in which predicates were added (the conjunction is commutative), but
+the insertion order is preserved so the table can evaluate ancestors of a
+drill-down incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.hidden_db.exceptions import InvalidQueryError
+from repro.hidden_db.schema import Schema
+
+__all__ = ["ConjunctiveQuery"]
+
+Predicate = Tuple[int, int]  # (attribute index, value)
+
+
+class ConjunctiveQuery:
+    """An immutable conjunction of ``attribute == value`` predicates.
+
+    >>> q = ConjunctiveQuery()
+    >>> q2 = q.extended(3, 1).extended(0, 0)
+    >>> q2.value_of(3)
+    1
+    >>> q2 == ConjunctiveQuery(((0, 0), (3, 1)))
+    True
+    """
+
+    __slots__ = ("_predicates", "_mapping", "_key", "_hash")
+
+    def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
+        preds: Tuple[Predicate, ...] = tuple(
+            (int(a), int(v)) for a, v in predicates
+        )
+        mapping: Dict[int, int] = {}
+        for attr, value in preds:
+            if attr in mapping:
+                if mapping[attr] != value:
+                    raise InvalidQueryError(
+                        f"conflicting predicates on attribute {attr}: "
+                        f"{mapping[attr]} vs {value}"
+                    )
+            else:
+                mapping[attr] = value
+        # Drop exact duplicates while preserving first-seen order.
+        seen: Dict[int, int] = {}
+        ordered = []
+        for attr, value in preds:
+            if attr not in seen:
+                seen[attr] = value
+                ordered.append((attr, value))
+        self._predicates: Tuple[Predicate, ...] = tuple(ordered)
+        self._mapping = mapping
+        self._key = frozenset(mapping.items())
+        self._hash = hash(self._key)
+
+    # -- construction ---------------------------------------------------
+
+    def extended(self, attr: int, value: int) -> "ConjunctiveQuery":
+        """A new query with ``attr == value`` appended.
+
+        Appending a predicate on an attribute that is already constrained to
+        a different value raises :class:`InvalidQueryError` (such a query
+        node does not exist in the query tree).
+        """
+        if attr in self._mapping and self._mapping[attr] != value:
+            raise InvalidQueryError(
+                f"attribute {attr} already fixed to {self._mapping[attr]}, "
+                f"cannot re-fix to {value}"
+            )
+        return ConjunctiveQuery(self._predicates + ((int(attr), int(value)),))
+
+    def with_sibling_value(self, attr: int, value: int) -> "ConjunctiveQuery":
+        """The sibling query that differs only in the value of *attr*.
+
+        *attr* must be the attribute of the **last** predicate; siblings in
+        the query tree share all ancestor predicates.
+        """
+        if not self._predicates or self._predicates[-1][0] != attr:
+            raise InvalidQueryError(
+                f"attribute {attr} is not the last predicate of {self!r}"
+            )
+        return ConjunctiveQuery(self._predicates[:-1] + ((int(attr), int(value)),))
+
+    def parent(self) -> "ConjunctiveQuery":
+        """The query with the last-added predicate removed."""
+        if not self._predicates:
+            raise InvalidQueryError("the root query has no parent")
+        return ConjunctiveQuery(self._predicates[:-1])
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def predicates(self) -> Tuple[Predicate, ...]:
+        """Predicates in insertion order."""
+        return self._predicates
+
+    @property
+    def key(self) -> frozenset:
+        """Canonical (order-independent) identity of the conjunction."""
+        return self._key
+
+    @property
+    def num_predicates(self) -> int:
+        """Number of predicates (the paper's ``h``)."""
+        return len(self._predicates)
+
+    @property
+    def is_root(self) -> bool:
+        """True for ``SELECT * FROM D`` (no predicates)."""
+        return not self._predicates
+
+    def constrains(self, attr: int) -> bool:
+        """True when *attr* already carries a predicate."""
+        return attr in self._mapping
+
+    def value_of(self, attr: int) -> int:
+        """The value *attr* is fixed to."""
+        try:
+            return self._mapping[attr]
+        except KeyError:
+            raise InvalidQueryError(f"attribute {attr} is unconstrained") from None
+
+    def constrained_attributes(self) -> Tuple[int, ...]:
+        """Indices of constrained attributes, in insertion order."""
+        return tuple(attr for attr, _ in self._predicates)
+
+    def contains_tuple(self, values: Tuple[int, ...]) -> bool:
+        """True when a tuple (full attribute-value vector) satisfies the query."""
+        return all(values[attr] == v for attr, v in self._mapping.items())
+
+    # -- dunder ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __repr__(self) -> str:
+        preds = " AND ".join(f"A{a}={v}" for a, v in sorted(self._mapping.items()))
+        return f"ConjunctiveQuery({preds or 'TRUE'})"
+
+    def to_sql(self, schema: Optional[Schema] = None) -> str:
+        """SQL-ish rendering, with attribute names/labels when a schema is given."""
+        if not self._predicates:
+            return "SELECT * FROM D"
+        if schema is None:
+            clauses = [f"A{a} = {v}" for a, v in sorted(self._mapping.items())]
+        else:
+            clauses = []
+            for a, v in sorted(self._mapping.items()):
+                attribute = schema[a]
+                clauses.append(f"{attribute.name} = {attribute.label_of(v)!r}")
+        return "SELECT * FROM D WHERE " + " AND ".join(clauses)
+
+    def validate(self, schema: Schema) -> None:
+        """Raise unless every predicate is legal under *schema*."""
+        for attr, value in self._predicates:
+            if not (0 <= attr < len(schema)):
+                raise InvalidQueryError(f"attribute index {attr} outside schema")
+            if not (0 <= value < schema[attr].domain_size):
+                raise InvalidQueryError(
+                    f"value {value} outside domain of attribute "
+                    f"{schema[attr].name!r} (size {schema[attr].domain_size})"
+                )

@@ -1,0 +1,77 @@
+"""Ranking functions for the top-k interface.
+
+When a query overflows, the interface returns k tuples "preferentially
+selected by a ranking function" (Section 2.1).  The estimators in this
+library never rely on *which* k tuples are returned — only valid (non
+overflowing) results are consumed in full — so any deterministic ranking
+reproduces the paper.  Several rankings are provided for realism and for
+exercising the crawler.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, spawn_rng
+
+__all__ = [
+    "RankingFunction",
+    "RowIdRanking",
+    "StaticScoreRanking",
+    "MeasureRanking",
+]
+
+
+class RankingFunction(Protocol):
+    """Orders the matching row ids of an overflowing query."""
+
+    def order(self, row_ids: np.ndarray, table) -> np.ndarray:
+        """Return *row_ids* permuted into display order (best first)."""
+        ...
+
+
+class RowIdRanking:
+    """Rank by row id ascending — the simplest deterministic ranking."""
+
+    def order(self, row_ids: np.ndarray, table) -> np.ndarray:
+        return np.sort(row_ids)
+
+
+class StaticScoreRanking:
+    """Rank by a random-but-fixed per-tuple relevance score.
+
+    Mimics a proprietary static ranking (e.g. freshness/popularity) that the
+    client cannot predict.  The score is drawn once per table size from a
+    seeded RNG, so results are reproducible.
+    """
+
+    def __init__(self, seed: RandomSource = 20100608) -> None:
+        self._seed = seed
+        self._scores: np.ndarray | None = None
+        self._size = -1
+
+    def _scores_for(self, table) -> np.ndarray:
+        if self._scores is None or self._size != table.num_tuples:
+            rng = spawn_rng(self._seed)
+            self._scores = rng.random(table.num_tuples)
+            self._size = table.num_tuples
+        return self._scores
+
+    def order(self, row_ids: np.ndarray, table) -> np.ndarray:
+        scores = self._scores_for(table)
+        return row_ids[np.argsort(-scores[row_ids], kind="stable")]
+
+
+class MeasureRanking:
+    """Rank by a measure column (e.g. cheapest-first price sorting)."""
+
+    def __init__(self, measure: str, descending: bool = False) -> None:
+        self.measure = measure
+        self.descending = descending
+
+    def order(self, row_ids: np.ndarray, table) -> np.ndarray:
+        values = table.measure(self.measure)[row_ids]
+        keys = -values if self.descending else values
+        return row_ids[np.argsort(keys, kind="stable")]

@@ -1,0 +1,210 @@
+"""In-memory hidden database table.
+
+``HiddenTable`` is the *server side* storage: a numpy column store over the
+searchable attributes plus float measure columns.  It evaluates conjunctive
+queries incrementally: the matching row-id set of a query is derived by
+narrowing the cached row-id set of its longest cached sub-query, which makes
+drill-down workloads (each query extends its parent by one predicate) cost
+O(|parent match|) instead of O(m).
+
+The table itself has *full knowledge* (it can count exactly); the top-k
+restriction lives in :mod:`repro.hidden_db.interface`.  Estimator code must
+never touch the table directly — experiments use it only for ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hidden_db.exceptions import SchemaError
+from repro.hidden_db.query import ConjunctiveQuery
+from repro.hidden_db.schema import Schema
+
+__all__ = ["HiddenTable"]
+
+
+class HiddenTable:
+    """Materialised relation with categorical search columns and measures.
+
+    Parameters
+    ----------
+    schema:
+        The table schema (searchable attributes + measure names).
+    data:
+        Integer array of shape ``(m, n)`` holding attribute values.
+    measures:
+        Mapping from measure name to a float array of shape ``(m,)``.
+    check_duplicates:
+        The paper assumes no duplicate tuples (Section 2.1); with duplicates
+        a fully-specified query can overflow and a drill down may never
+        terminate.  Generators in :mod:`repro.datasets` always deduplicate;
+        set this to True to verify.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        data: np.ndarray,
+        measures: Optional[Mapping[str, np.ndarray]] = None,
+        check_duplicates: bool = False,
+        max_cached_queries: int = 2_000_000,
+    ) -> None:
+        data = np.ascontiguousarray(data)
+        if data.ndim != 2:
+            raise SchemaError(f"data must be 2-D, got shape {data.shape}")
+        if data.shape[1] != len(schema):
+            raise SchemaError(
+                f"data has {data.shape[1]} columns but schema has "
+                f"{len(schema)} attributes"
+            )
+        for j, attribute in enumerate(schema):
+            col = data[:, j]
+            if col.size and (col.min() < 0 or col.max() >= attribute.domain_size):
+                raise SchemaError(
+                    f"column {attribute.name!r} holds values outside "
+                    f"[0, {attribute.domain_size})"
+                )
+        measures = dict(measures or {})
+        if set(measures) != set(schema.measure_names):
+            raise SchemaError(
+                f"measure columns {sorted(measures)} do not match schema "
+                f"measures {sorted(schema.measure_names)}"
+            )
+        for name, col in measures.items():
+            if col.shape != (data.shape[0],):
+                raise SchemaError(
+                    f"measure {name!r} has shape {col.shape}, expected "
+                    f"({data.shape[0]},)"
+                )
+        if check_duplicates and data.shape[0]:
+            unique_rows = np.unique(data, axis=0)
+            if unique_rows.shape[0] != data.shape[0]:
+                raise SchemaError(
+                    "table holds duplicate tuples; the paper's model assumes "
+                    "duplicates are removed"
+                )
+        self.schema = schema
+        self._data = data
+        self._measures = {name: np.asarray(col, dtype=float) for name, col in measures.items()}
+        self._max_cached_queries = max_cached_queries
+        self._selection_cache: Dict[frozenset, np.ndarray] = {}
+        self._all_rows = np.arange(data.shape[0], dtype=np.int64)
+
+    # -- basic geometry --------------------------------------------------
+
+    @property
+    def num_tuples(self) -> int:
+        """The true size m of the database (ground truth)."""
+        return self._data.shape[0]
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of searchable attributes n."""
+        return self._data.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """Read-only view of the raw attribute matrix."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    def measure(self, name: str) -> np.ndarray:
+        """Read-only view of one measure column."""
+        try:
+            col = self._measures[name]
+        except KeyError:
+            raise SchemaError(f"unknown measure {name!r}") from None
+        view = col.view()
+        view.flags.writeable = False
+        return view
+
+    def row_values(self, row_id: int) -> Tuple[int, ...]:
+        """Attribute values of one row as a tuple of ints."""
+        return tuple(int(v) for v in self._data[row_id])
+
+    def row_measures(self, row_id: int) -> Dict[str, float]:
+        """Measure values of one row."""
+        return {name: float(col[row_id]) for name, col in self._measures.items()}
+
+    # -- selection ---------------------------------------------------------
+
+    def selection_ids(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Row ids of Sel(q), sorted ascending.
+
+        Uses the cache of previously evaluated conjunctions: the ids of a
+        query are narrowed from the ids of its longest cached prefix (in the
+        query's own predicate insertion order).  Every intermediate prefix is
+        cached too, so the sibling probes of a drill down are O(|parent|).
+        """
+        cached = self._selection_cache.get(query.key)
+        if cached is not None:
+            return cached
+        predicates = query.predicates
+        # Find the longest cached prefix of the insertion order.
+        start = len(predicates)
+        base = None
+        while start > 0:
+            prefix_key = frozenset(predicates[:start])
+            base = self._selection_cache.get(prefix_key)
+            if base is not None:
+                break
+            start -= 1
+        if base is None:
+            base = self._all_rows
+            start = 0
+        ids = base
+        for depth in range(start, len(predicates)):
+            attr, value = predicates[depth]
+            ids = ids[self._data[ids, attr] == value]
+            self._cache_put(frozenset(predicates[: depth + 1]), ids)
+        return ids
+
+    def count(self, query: ConjunctiveQuery) -> int:
+        """Exact |Sel(q)| — ground truth, not available through the form."""
+        return int(self.selection_ids(query).size)
+
+    def sum_measure(self, query: ConjunctiveQuery, measure: str) -> float:
+        """Exact SUM(measure) over Sel(q) — ground truth."""
+        ids = self.selection_ids(query)
+        return float(self.measure(measure)[ids].sum())
+
+    def clear_cache(self) -> None:
+        """Drop all memoised selections (mainly for memory-bound tests)."""
+        self._selection_cache.clear()
+
+    def _cache_put(self, key: frozenset, ids: np.ndarray) -> None:
+        if len(self._selection_cache) >= self._max_cached_queries:
+            # Evict the oldest ~25% (dict preserves insertion order).
+            drop = len(self._selection_cache) // 4 or 1
+            for stale in list(self._selection_cache)[:drop]:
+                del self._selection_cache[stale]
+        self._selection_cache[key] = ids
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Sequence[Sequence[int]],
+        measures: Optional[Mapping[str, Sequence[float]]] = None,
+        **kwargs,
+    ) -> "HiddenTable":
+        """Build a table from Python-level rows (mainly for tests/examples)."""
+        data = np.asarray(rows, dtype=np.int64)
+        if data.size == 0:
+            data = data.reshape(0, len(schema))
+        measure_arrays = {
+            name: np.asarray(col, dtype=float)
+            for name, col in (measures or {}).items()
+        }
+        return cls(schema, data, measure_arrays, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"HiddenTable(m={self.num_tuples}, n={self.num_attributes}, "
+            f"measures={list(self._measures)})"
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded randomness and streaming statistics."""
+
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.stats import (
+    RunningStats,
+    StreamingMeanSeries,
+    mean_squared_error,
+    relative_error,
+)
+
+__all__ = [
+    "RandomSource",
+    "spawn_rng",
+    "RunningStats",
+    "StreamingMeanSeries",
+    "mean_squared_error",
+    "relative_error",
+]

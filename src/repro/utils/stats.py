@@ -1,0 +1,142 @@
+"""Streaming statistics used by estimation sessions and the experiment
+harness.
+
+The estimators in :mod:`repro.core` emit one unbiased estimate per drill
+down; sessions average them with :class:`RunningStats` (Welford's algorithm,
+numerically stable) and the harness aligns running estimates against
+cumulative query cost with :class:`StreamingMeanSeries`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RunningStats",
+    "StreamingMeanSeries",
+    "mean_squared_error",
+    "relative_error",
+    "step_interpolate",
+]
+
+
+@dataclass
+class RunningStats:
+    """Welford streaming mean/variance accumulator.
+
+    >>> rs = RunningStats()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     rs.add(x)
+    >>> rs.mean
+    2.0
+    >>> rs.variance  # sample variance
+    1.0
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``nan`` with fewer than 2 points)."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def population_variance(self) -> float:
+        """Population (biased, ``/n``) variance."""
+        if self.count < 1:
+            return float("nan")
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance) if self.count >= 2 else float("nan")
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return float("nan")
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean (default 95%)."""
+        if self.count < 2:
+            return (float("nan"), float("nan"))
+        half = z * self.std_error
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass
+class StreamingMeanSeries:
+    """Records a piecewise-constant trajectory ``(x, value)``.
+
+    Estimation sessions append ``(cumulative_query_cost, running_estimate)``
+    after every drill down.  :meth:`value_at` reads the trajectory back at an
+    arbitrary budget via step interpolation (last value whose x does not
+    exceed the requested budget), which is how the paper's "metric vs query
+    cost" curves are produced from replicated runs.
+    """
+
+    xs: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, x: float, value: float) -> None:
+        """Append a point; x must be non-decreasing."""
+        if self.xs and x < self.xs[-1]:
+            raise ValueError(f"x must be non-decreasing, got {x} after {self.xs[-1]}")
+        self.xs.append(float(x))
+        self.values.append(float(value))
+
+    def value_at(self, x: float) -> float:
+        """Step-interpolated value at *x* (``nan`` before the first point)."""
+        return step_interpolate(self.xs, self.values, x)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+def step_interpolate(xs: Sequence[float], values: Sequence[float], x: float) -> float:
+    """Last ``values[i]`` with ``xs[i] <= x`` (``nan`` if none).
+
+    ``xs`` must be sorted ascending.
+    """
+    if not xs or x < xs[0]:
+        return float("nan")
+    idx = int(np.searchsorted(np.asarray(xs), x, side="right")) - 1
+    return float(values[idx])
+
+
+def mean_squared_error(estimates: Sequence[float], truth: float) -> float:
+    """Empirical MSE of *estimates* against *truth* (``nan``s dropped)."""
+    arr = np.asarray([e for e in estimates if not math.isnan(e)], dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.mean((arr - truth) ** 2))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` (``nan`` when truth is 0)."""
+    if truth == 0:
+        return float("nan")
+    return abs(estimate - truth) / abs(truth)

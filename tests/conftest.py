@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.datasets import boolean_table, running_example, yahoo_auto
+from repro.hidden_db import HiddenDBClient, TopKInterface
+
+
+@pytest.fixture()
+def example_table():
+    """The paper's Table 1 (6 tuples, 4 Boolean + 1 categorical attribute)."""
+    return running_example()
+
+
+@pytest.fixture()
+def example_client(example_table):
+    """Client over Table 1 with k = 1 (the paper's Figure 1 setting)."""
+    return HiddenDBClient(TopKInterface(example_table, k=1))
+
+
+@pytest.fixture(scope="session")
+def small_bool_table():
+    """A 300-tuple skewed Boolean table reused by statistical tests."""
+    return boolean_table(
+        300, [0.5, 0.5, 0.1, 0.2, 0.3, 0.15, 0.4, 0.25, 0.1, 0.35], seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def small_yahoo_table():
+    """A 1,500-row synthetic Yahoo! Auto table."""
+    return yahoo_auto(m=1_500, seed=11)
+
+
+def make_client(table, k, cache=True, limit=None):
+    """Fresh interface + client over *table*."""
+    from repro.hidden_db import QueryCounter
+
+    counter = QueryCounter(limit=limit)
+    return HiddenDBClient(TopKInterface(table, k, counter=counter), cache=cache)

@@ -1,0 +1,116 @@
+"""Unit tests for the closed-form bounds (Corollaries 1-2, Theorems 3-4,
+Eq. 2)."""
+
+
+
+import pytest
+from repro.analysis import (
+    corollary1_worst_case_variance,
+    corollary2_weight_adjusted_variance,
+    smart_backtracking_expected_probes,
+    theorem3_variance_upper_bound,
+    theorem4_dnc_variance_ratio,
+    theorem2_variance,
+)
+from repro.datasets import worst_case
+
+
+class TestCorollary1:
+    def test_formula(self):
+        # k^2 * prod(first n-1 fanouts) - m^2
+        assert corollary1_worst_case_variance([2, 2, 2], m=3, k=2) == 4 * 4 - 9
+
+    def test_paper_style_magnitude(self):
+        v = corollary1_worst_case_variance([2] * 40, m=10**4, k=1)
+        assert v > 2**38
+
+    def test_can_be_vacuous_for_large_m(self):
+        # For m^2 > k^2 |Dom(A1..An-1)| the lower bound is negative, i.e.
+        # carries no information — mirroring the paper's framing that the
+        # bound matters when the domain dwarfs the database.
+        assert corollary1_worst_case_variance([2] * 40, m=10**6, k=1) < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            corollary1_worst_case_variance([], 1, 1)
+
+
+class TestCorollary2:
+    def test_more_drilldowns_lower_bound(self):
+        high = corollary2_weight_adjusted_variance(30, 10_000, r=2)
+        low = corollary2_weight_adjusted_variance(30, 10_000, r=1024)
+        assert low < high
+
+    def test_paper_example(self):
+        # Section 4.1.2: 40 attributes, 100,000 tuples, 1,000 drill downs
+        # -> s^2 >= ~354 m^2.
+        m = 100_000
+        bound = corollary2_weight_adjusted_variance(40, m, r=1000)
+        assert bound / m**2 == pytest.approx(354.29, rel=0.01)
+
+    def test_saturates_at_zero(self):
+        assert corollary2_weight_adjusted_variance(4, 10, r=1 << 10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            corollary2_weight_adjusted_variance(10, 10, r=0)
+
+
+class TestTheorem3:
+    def test_formula(self):
+        assert theorem3_variance_upper_bound(10, 100) == 100 * (10 - 1)
+
+    def test_bound_holds_for_worst_case_table(self):
+        table = worst_case(8)
+        exact = theorem2_variance(table, 1, list(range(8)))
+        bound = theorem3_variance_upper_bound(9, 2**8)
+        assert exact <= bound + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem3_variance_upper_bound(0, 100)
+
+
+class TestTheorem4:
+    def test_ratio_grows_with_r(self):
+        small = theorem4_dnc_variance_ratio(2, 2**40, 32)
+        big = theorem4_dnc_variance_ratio(8, 2**40, 32)
+        assert big > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem4_dnc_variance_ratio(0, 100, 16)
+        with pytest.raises(ValueError):
+            theorem4_dnc_variance_ratio(2, 100, 1)
+
+
+class TestEq2SmartBacktrackingCost:
+    def test_figure_3_example_is_3_6(self):
+        # Branches (q1..q5): non-empty, empty, non-empty, empty, empty.
+        pattern = [False, True, False, True, True]
+        assert smart_backtracking_expected_probes(pattern) == pytest.approx(3.6)
+
+    def test_all_nonempty_boolean(self):
+        # Two non-empty branches: QC = 1 + (1+1)/2 = 2.
+        assert smart_backtracking_expected_probes([False, False]) == pytest.approx(2.0)
+
+    def test_single_nonempty_among_w(self):
+        # One non-empty branch in w=4: run length 3 -> 1 + 16/4 = 5.
+        assert smart_backtracking_expected_probes(
+            [True, True, False, True]
+        ) == pytest.approx(5.0)
+
+    def test_rejects_all_empty(self):
+        with pytest.raises(ValueError):
+            smart_backtracking_expected_probes([True, True])
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            smart_backtracking_expected_probes([])
+
+    def test_larger_fanout_attribute_later_costs_more(self):
+        # Section 5.1's ordering argument: the same empty fraction on a
+        # larger fanout yields a larger expected probe count.
+        small = smart_backtracking_expected_probes([False, True] * 2)
+        large = smart_backtracking_expected_probes([False, True, True, True] * 2)
+        assert large > small

@@ -1,0 +1,79 @@
+"""Unit tests for confidence-interval helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chebyshev_confidence_interval,
+    normal_confidence_interval,
+    rounds_for_relative_error,
+)
+
+
+class TestNormalCI:
+    def test_symmetric_around_mean(self):
+        low, high = normal_confidence_interval([8.0, 10.0, 12.0])
+        assert (low + high) / 2 == pytest.approx(10.0)
+
+    def test_wider_with_more_confidence(self):
+        data = list(np.random.default_rng(1).normal(0, 1, 50))
+        low95, high95 = normal_confidence_interval(data, z=1.96)
+        low99, high99 = normal_confidence_interval(data, z=2.576)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_coverage_monte_carlo(self):
+        rng = np.random.default_rng(2)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            data = rng.normal(5.0, 2.0, 40)
+            low, high = normal_confidence_interval(list(data))
+            covered += low <= 5.0 <= high
+        assert covered / trials > 0.9
+
+
+class TestChebyshevCI:
+    def test_contains_mean(self):
+        low, high = chebyshev_confidence_interval(100.0, 400.0, rounds=4)
+        assert low < 100.0 < high
+
+    def test_shrinks_with_rounds(self):
+        w1 = chebyshev_confidence_interval(0.0, 100.0, rounds=1)
+        w2 = chebyshev_confidence_interval(0.0, 100.0, rounds=100)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_wider_than_normal_for_same_data(self):
+        # Chebyshev is distribution-free, hence conservative.
+        variance = 4.0
+        rounds = 25
+        cheb = chebyshev_confidence_interval(0.0, variance, rounds)
+        normal_half = 1.96 * math.sqrt(variance / rounds)
+        assert (cheb[1] - cheb[0]) / 2 > normal_half
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chebyshev_confidence_interval(0.0, 1.0, rounds=0)
+        with pytest.raises(ValueError):
+            chebyshev_confidence_interval(0.0, -1.0, rounds=5)
+        with pytest.raises(ValueError):
+            chebyshev_confidence_interval(0.0, 1.0, rounds=5, confidence=1.5)
+
+
+class TestRoundsForRelativeError:
+    def test_known_value(self):
+        # z^2 s^2 / (target*truth)^2 = 1.96^2*10000/(0.01*1000)^2 = 384.16
+        rounds = rounds_for_relative_error(10_000.0, 0.01, 1_000.0)
+        assert rounds == 385
+
+    def test_at_least_one(self):
+        assert rounds_for_relative_error(1e-9, 0.5, 100.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_for_relative_error(1.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            rounds_for_relative_error(-1.0, 0.1, 100.0)
+        with pytest.raises(ValueError):
+            rounds_for_relative_error(1.0, 0.1, 100.0, confidence=0.5)

@@ -1,0 +1,137 @@
+"""Unit tests for the exact tree analysis (enumeration, Theorem 2)."""
+
+
+import pytest
+import numpy as np
+
+from repro.analysis import (
+    iter_top_valid,
+    theorem2_variance,
+    uniform_walk_probabilities,
+)
+from repro.core import BoolUnbiasedSize
+from repro.datasets import boolean_table, running_example, worst_case
+from repro.hidden_db import ConjunctiveQuery, HiddenDBClient, TopKInterface
+
+
+ORDER5 = [0, 1, 2, 3, 4]
+
+
+class TestIterTopValid:
+    def test_running_example_has_six_top_valid_nodes_at_k1(self):
+        # Figure 1: with k = 1 every tuple has its own top-valid node.
+        table = running_example()
+        nodes = list(iter_top_valid(table, 1, ORDER5))
+        assert len(nodes) == 6
+        assert sum(n.count for n in nodes) == 6
+
+    def test_counts_partition_the_table(self):
+        table = boolean_table(200, [0.5] * 10, seed=1)
+        for k in (1, 3, 10):
+            nodes = list(iter_top_valid(table, k, list(range(10))))
+            assert sum(n.count for n in nodes) == 200
+            assert all(1 <= n.count <= k for n in nodes)
+
+    def test_larger_k_gives_fewer_shallower_nodes(self):
+        table = boolean_table(200, [0.5] * 10, seed=2)
+        small = list(iter_top_valid(table, 2, list(range(10))))
+        large = list(iter_top_valid(table, 50, list(range(10))))
+        assert len(large) < len(small)
+        assert max(n.depth for n in large) <= max(n.depth for n in small)
+
+    def test_valid_root_is_single_node(self):
+        table = boolean_table(5, [0.5] * 6, seed=3)
+        nodes = list(iter_top_valid(table, 10, list(range(6))))
+        assert len(nodes) == 1
+        assert nodes[0].depth == 0
+        assert nodes[0].count == 5
+
+    def test_empty_root(self):
+        table = running_example()
+        root = ConjunctiveQuery().extended(4, 1)  # A5='2' matches nothing
+        assert list(iter_top_valid(table, 1, ORDER5, root=root)) == []
+
+    def test_subtree_enumeration(self):
+        table = running_example()
+        root = ConjunctiveQuery().extended(0, 0)  # t1..t4
+        nodes = list(iter_top_valid(table, 1, ORDER5, root=root))
+        assert sum(n.count for n in nodes) == 4
+
+
+class TestUniformWalkProbabilities:
+    def test_probabilities_sum_to_one(self):
+        table = boolean_table(150, [0.5, 0.5, 0.2, 0.3, 0.4, 0.2, 0.3, 0.25], seed=4)
+        probs = uniform_walk_probabilities(table, 3, list(range(8)))
+        total = sum(p for p, _ in probs.values())
+        assert total == pytest.approx(1.0)
+
+    def test_counts_match_enumeration(self):
+        table = running_example()
+        probs = uniform_walk_probabilities(table, 1, ORDER5)
+        nodes = {n.query.key: n.count for n in iter_top_valid(table, 1, ORDER5)}
+        assert set(probs) == set(nodes)
+        for key, (_, count) in probs.items():
+            assert count == nodes[key]
+
+    def test_walker_reports_matching_probability(self):
+        # The deep cross-check: the walker's self-reported p(q) equals the
+        # exact reaching probability for every node reached.
+        from repro.core.drilldown import Walker
+        from repro.core.weights import UniformWeights
+
+        table = boolean_table(
+            120, [0.5, 0.5, 0.15, 0.3, 0.4, 0.1, 0.25, 0.5, 0.35, 0.45], seed=5
+        )
+        order = list(range(10))
+        exact = uniform_walk_probabilities(table, 3, order)
+        client = HiddenDBClient(TopKInterface(table, 3))
+        walker = Walker(client, UniformWeights(), np.random.default_rng(6))
+        for _ in range(400):
+            out = walker.drill_down(ConjunctiveQuery(), order)
+            true_prob, true_count = exact[out.query.key]
+            assert out.probability == pytest.approx(true_prob)
+            assert out.result.num_returned == true_count
+
+    def test_categorical_windows(self):
+        table = running_example()
+        # Order A5 first: its branch structure at the root is val0 (5
+        # tuples) and val2 (1 tuple), others empty.
+        probs = uniform_walk_probabilities(table, 1, [4, 0, 1, 2, 3])
+        total = sum(p for p, _ in probs.values())
+        assert total == pytest.approx(1.0)
+
+
+class TestTheorem2:
+    def test_exact_variance_on_running_example(self):
+        # Verified analytically for Figure 1 (k=1): sum(|q|^2/p) - 36 = 16.
+        table = running_example()
+        assert theorem2_variance(table, 1, ORDER5) == pytest.approx(16.0)
+
+    def test_monte_carlo_matches_exact_variance(self):
+        table = boolean_table(150, [0.5, 0.5, 0.2, 0.3, 0.4, 0.2, 0.3, 0.25], seed=7)
+        order = list(range(8))
+        exact_var = theorem2_variance(table, 3, order)
+        values = []
+        for i in range(1200):
+            client = HiddenDBClient(TopKInterface(table, 3))
+            est = BoolUnbiasedSize(client, attribute_order=order, seed=80_000 + i)
+            values.append(est.run_once().value)
+        sample_var = float(np.var(values, ddof=1))
+        assert sample_var == pytest.approx(exact_var, rel=0.25)
+
+    def test_worst_case_variance_is_exponential(self):
+        # Figure 4 scenario: variance ~ 2^(n+1) - m^2 at k=1.
+        table = worst_case(10)
+        var = theorem2_variance(table, 1, list(range(10)))
+        assert var > 2**11 - 11**2 - 1
+
+    def test_zero_variance_when_root_valid(self):
+        table = boolean_table(5, [0.5] * 6, seed=8)
+        assert theorem2_variance(table, 10, list(range(6))) == 0.0
+
+    def test_empty_table_zero_variance(self):
+        from repro.hidden_db import Attribute, HiddenTable, Schema
+
+        schema = Schema([Attribute("A", 2)])
+        table = HiddenTable.from_rows(schema, [])
+        assert theorem2_variance(table, 1, [0]) == 0.0

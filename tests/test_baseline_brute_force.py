@@ -1,0 +1,101 @@
+"""Unit tests for BRUTE-FORCE-SAMPLER."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import BruteForceSampler
+from repro.datasets import boolean_table
+from repro.hidden_db import (
+    Attribute,
+    HiddenDBClient,
+    HiddenTable,
+    QueryCounter,
+    QueryLimitExceeded,
+    Schema,
+    TopKInterface,
+)
+
+
+def dense_table():
+    """A table covering half of a tiny domain, so hits are frequent."""
+    schema = Schema(
+        [Attribute("A", 2), Attribute("B", 2), Attribute("C", 2)],
+        measure_names=("V",),
+    )
+    rows = [[0, 0, 0], [0, 1, 1], [1, 0, 1], [1, 1, 0]]
+    return HiddenTable.from_rows(schema, rows, measures={"V": [1.0, 2.0, 3.0, 4.0]})
+
+
+def client_for(table, limit=None, cache=True):
+    return HiddenDBClient(
+        TopKInterface(table, k=5, counter=QueryCounter(limit=limit)), cache=cache
+    )
+
+
+class TestBruteForce:
+    def test_point_queries_are_fully_specified(self):
+        sampler = BruteForceSampler(client_for(dense_table()), seed=1)
+        q = sampler.random_point_query()
+        assert q.num_predicates == 3
+
+    def test_estimate_converges_on_dense_domain(self):
+        sampler = BruteForceSampler(client_for(dense_table(), cache=False), seed=2)
+        result = sampler.run(attempts=4000)
+        # True size 4, domain 8, hit rate 1/2.
+        assert result.estimate == pytest.approx(4.0, rel=0.15)
+        assert result.attempts == 4000
+
+    def test_unbiasedness_monte_carlo(self):
+        estimates = []
+        for i in range(300):
+            sampler = BruteForceSampler(
+                client_for(dense_table(), cache=False), seed=100 + i
+            )
+            estimates.append(sampler.run(attempts=20).estimate)
+        arr = np.asarray(estimates)
+        se = arr.std(ddof=1) / math.sqrt(len(arr))
+        assert abs(arr.mean() - 4.0) <= 3 * se
+
+    def test_sum_estimate(self):
+        sampler = BruteForceSampler(
+            client_for(dense_table(), cache=False), measure="V", seed=3
+        )
+        result = sampler.run(attempts=4000)
+        assert result.sum_estimate == pytest.approx(10.0, rel=0.2)
+
+    def test_useless_on_sparse_domains(self):
+        # The paper's point: with |Dom| >> m nothing is ever found.
+        table = boolean_table(50, [0.5] * 30, seed=4)
+        sampler = BruteForceSampler(client_for(table, cache=False), seed=5)
+        result = sampler.run(attempts=300)
+        assert result.hits == 0
+        assert result.estimate == 0.0
+
+    def test_budget_exhaustion_partial_result(self):
+        sampler = BruteForceSampler(
+            client_for(dense_table(), limit=10, cache=False), seed=6
+        )
+        result = sampler.run(attempts=100)
+        assert result.attempts == 10
+        assert result.total_cost == 10
+
+    def test_budget_zero_raises(self):
+        sampler = BruteForceSampler(
+            client_for(dense_table(), limit=0, cache=False), seed=7
+        )
+        with pytest.raises(QueryLimitExceeded):
+            sampler.run(attempts=5)
+
+    def test_attempts_validation(self):
+        sampler = BruteForceSampler(client_for(dense_table()), seed=8)
+        with pytest.raises(ValueError):
+            sampler.run(attempts=0)
+
+    def test_trajectory_tracks_attempts(self):
+        sampler = BruteForceSampler(
+            client_for(dense_table(), cache=False), seed=9
+        )
+        result = sampler.run(attempts=50)
+        assert len(result.trajectory) == 50

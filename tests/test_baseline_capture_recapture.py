@@ -1,0 +1,88 @@
+"""Unit tests for capture–recapture estimation."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    CaptureRecaptureEstimator,
+    HiddenDBSampler,
+    chapman,
+    lincoln_petersen,
+    schnabel,
+)
+from repro.datasets import boolean_table
+from repro.hidden_db import HiddenDBClient, QueryCounter, TopKInterface
+
+
+class TestFormulas:
+    def test_lincoln_petersen(self):
+        assert lincoln_petersen(100, 100, 10) == pytest.approx(1000.0)
+
+    def test_lincoln_petersen_no_overlap(self):
+        assert math.isinf(lincoln_petersen(10, 10, 0))
+
+    def test_lincoln_petersen_validation(self):
+        with pytest.raises(ValueError):
+            lincoln_petersen(-1, 5, 0)
+
+    def test_chapman(self):
+        assert chapman(9, 9, 4) == pytest.approx(19.0)
+
+    def test_chapman_finite_without_overlap(self):
+        assert chapman(10, 10, 0) == pytest.approx(120.0)
+
+    def test_chapman_validation(self):
+        with pytest.raises(ValueError):
+            chapman(1, -2, 0)
+
+    def test_schnabel_single_occasion(self):
+        # One occasion with no marks yet: numerator 0.
+        assert schnabel([(1, 0, 0)]) == 0.0
+
+    def test_schnabel_known_value(self):
+        # C_t * M_t = 10*20, recaptures 4 -> 200/5.
+        assert schnabel([(10, 20, 4)]) == pytest.approx(40.0)
+
+    def test_schnabel_accumulates(self):
+        occasions = [(1, 0, 0), (1, 1, 0), (1, 2, 1), (1, 2, 0)]
+        expected = (0 + 1 + 2 + 2) / (1 + 1)
+        assert schnabel(occasions) == pytest.approx(expected)
+
+
+class TestEstimator:
+    def _run(self, m=150, samples=40, seed=5):
+        table = boolean_table(m, [0.5] * 9, seed=seed)
+        client = HiddenDBClient(
+            TopKInterface(table, k=4, counter=QueryCounter()), cache=False
+        )
+        sampler = HiddenDBSampler(client, seed=seed + 1)
+        return CaptureRecaptureEstimator(sampler).run(samples=samples)
+
+    def test_produces_positive_estimate(self):
+        result = self._run()
+        assert result.estimate > 0
+        assert result.samples == 40
+        assert result.distinct <= 40
+
+    def test_trajectory_tracks_samples(self):
+        result = self._run(samples=25)
+        assert len(result.trajectory) == 25
+        assert result.trajectory.xs == sorted(result.trajectory.xs)
+
+    def test_estimate_order_of_magnitude(self):
+        # With enough recaptures the estimate lands within a generous
+        # factor of the truth (it is *biased*, not arbitrary).
+        result = self._run(m=100, samples=80, seed=9)
+        assert 20 <= result.estimate <= 1000
+
+    def test_budget_mode(self):
+        table = boolean_table(150, [0.5] * 9, seed=10)
+        client = HiddenDBClient(
+            TopKInterface(table, k=4, counter=QueryCounter(limit=200)),
+            cache=False,
+        )
+        sampler = HiddenDBSampler(client, seed=11)
+        result = CaptureRecaptureEstimator(sampler).run(query_budget=200)
+        assert result.total_cost <= 200
+        assert result.samples >= 1

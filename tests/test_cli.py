@@ -1,0 +1,68 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig06"])
+        assert args.figure == "fig06"
+        assert args.scale is None
+        assert not args.full
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.dataset == "yahoo"
+        assert args.rounds == 20
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_prints_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "fig19" in out and "table_r" in out
+
+    def test_run_unknown_figure(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_figure_tiny(self, capsys):
+        assert main(["run", "fig18", "--scale", "tiny", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out
+
+    def test_run_figure_json(self, capsys):
+        assert main(["run", "fig18", "--scale", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["figure_id"] == "fig18"
+        assert len(payload["rows"]) == 10
+
+    def test_estimate_command(self, capsys):
+        code = main([
+            "estimate", "--dataset", "iid", "--m", "1000", "--k", "20",
+            "--rounds", "5", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate=" in out and "m=1000" in out
+
+    def test_tune_command(self, capsys):
+        code = main([
+            "tune", "--dataset", "iid", "--m", "1000", "--k", "20",
+            "--budget", "300", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suggested r=" in out and "DUB=" in out

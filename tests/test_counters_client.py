@@ -1,0 +1,113 @@
+"""Unit tests for query accounting and the caching client."""
+
+import pytest
+
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    HiddenDBClient,
+    QueryCounter,
+    QueryLimitExceeded,
+    TopKInterface,
+)
+from repro.datasets import running_example
+
+
+def fresh(k=1, limit=None, cache=True):
+    table = running_example()
+    counter = QueryCounter(limit=limit)
+    return HiddenDBClient(TopKInterface(table, k, counter=counter), cache=cache)
+
+
+class TestQueryCounter:
+    def test_counts(self):
+        c = QueryCounter()
+        c.charge(ConjunctiveQuery())
+        c.charge(ConjunctiveQuery())
+        assert c.issued == 2
+        assert c.remaining is None
+
+    def test_limit(self):
+        c = QueryCounter(limit=2)
+        c.charge(ConjunctiveQuery())
+        c.charge(ConjunctiveQuery())
+        assert c.remaining == 0
+        with pytest.raises(QueryLimitExceeded):
+            c.charge(ConjunctiveQuery())
+        assert c.issued == 2  # the rejected query is not counted
+
+    def test_history(self):
+        c = QueryCounter(keep_history=True)
+        q = ConjunctiveQuery().extended(0, 1)
+        c.charge(q)
+        assert c.history == [q]
+
+    def test_reset(self):
+        c = QueryCounter(limit=1, keep_history=True)
+        c.charge(ConjunctiveQuery())
+        c.reset()
+        assert c.issued == 0 and c.history == []
+        c.charge(ConjunctiveQuery())  # budget is fresh again
+
+
+class TestHiddenDBClient:
+    def test_cache_avoids_charges(self):
+        client = fresh()
+        q = ConjunctiveQuery().extended(0, 0)
+        client.query(q)
+        client.query(q)
+        assert client.cost == 1
+        assert client.cache_hits == 1
+
+    def test_cache_key_is_canonical(self):
+        client = fresh()
+        a = ConjunctiveQuery().extended(0, 0).extended(1, 0)
+        b = ConjunctiveQuery().extended(1, 0).extended(0, 0)
+        client.query(a)
+        client.query(b)
+        assert client.cost == 1
+
+    def test_no_cache_mode(self):
+        client = fresh(cache=False)
+        q = ConjunctiveQuery()
+        client.query(q)
+        client.query(q)
+        assert client.cost == 2
+        assert not client.is_cached(q)
+
+    def test_is_cached(self):
+        client = fresh()
+        q = ConjunctiveQuery()
+        assert not client.is_cached(q)
+        client.query(q)
+        assert client.is_cached(q)
+
+    def test_clear_cache(self):
+        client = fresh()
+        q = ConjunctiveQuery()
+        client.query(q)
+        client.clear_cache()
+        client.query(q)
+        assert client.cost == 2
+
+    def test_limit_propagates(self):
+        client = fresh(limit=1)
+        client.query(ConjunctiveQuery())
+        with pytest.raises(QueryLimitExceeded):
+            client.query(ConjunctiveQuery().extended(0, 0))
+
+    def test_cached_result_survives_limit(self):
+        client = fresh(limit=1)
+        q = ConjunctiveQuery()
+        client.query(q)
+        # Budget exhausted, but the cached page is still readable.
+        assert client.query(q).overflow
+
+    def test_schema_and_k_passthrough(self):
+        client = fresh(k=1)
+        assert client.k == 1
+        assert len(client.schema) == 5
+
+    def test_repr(self):
+        client = fresh()
+        client.query(ConjunctiveQuery())
+        assert "cost=1" in repr(client)

@@ -1,0 +1,54 @@
+"""Unit tests for the exhaustive crawler."""
+
+import pytest
+
+from repro.datasets import boolean_table, running_example
+from repro.hidden_db import ConjunctiveQuery, HiddenDBClient, TopKInterface, crawl
+
+
+def client_for(table, k):
+    return HiddenDBClient(TopKInterface(table, k))
+
+
+class TestCrawl:
+    def test_recovers_every_tuple_of_the_example(self):
+        table = running_example()
+        result = crawl(client_for(table, k=1))
+        assert result.size == 6
+        expected = {tuple(int(v) for v in row) for row in table.data}
+        assert result.tuples == expected
+
+    def test_exact_on_random_boolean_table(self):
+        table = boolean_table(60, [0.5] * 8, seed=3)
+        result = crawl(client_for(table, k=4))
+        assert result.size == 60
+
+    def test_larger_k_costs_fewer_queries(self):
+        table = boolean_table(60, [0.5] * 8, seed=3)
+        small_k = crawl(client_for(table, k=2)).query_cost
+        large_k = crawl(client_for(table, k=16)).query_cost
+        assert large_k < small_k
+
+    def test_subtree_crawl(self):
+        table = running_example()
+        root = ConjunctiveQuery().extended(0, 0)  # A1 = 0 -> t1..t4
+        result = crawl(client_for(table, k=1), root=root)
+        assert result.size == 4
+
+    def test_empty_subtree(self):
+        table = running_example()
+        # A5 = '2' (value 1) matches nothing.
+        root = ConjunctiveQuery().extended(4, 1)
+        result = crawl(client_for(table, k=1), root=root)
+        assert result.size == 0
+        assert result.query_cost == 1
+
+    def test_max_queries_guard(self):
+        table = boolean_table(60, [0.5] * 8, seed=3)
+        with pytest.raises(RuntimeError):
+            crawl(client_for(table, k=1), max_queries=3)
+
+    def test_respects_attribute_order(self):
+        table = running_example()
+        result = crawl(client_for(table, k=1), attribute_order=[4, 3, 2, 1, 0])
+        assert result.size == 6

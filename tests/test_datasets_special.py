@@ -1,0 +1,75 @@
+"""Unit tests for the paper's hand-crafted example tables."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import running_example, worst_case
+from repro.hidden_db import ConjunctiveQuery
+
+
+class TestRunningExample:
+    def test_matches_table_1(self):
+        t = running_example()
+        assert t.num_tuples == 6
+        assert t.num_attributes == 5
+        expected = np.array(
+            [
+                [0, 0, 0, 0, 0],
+                [0, 0, 0, 1, 0],
+                [0, 0, 1, 0, 0],
+                [0, 1, 1, 1, 0],
+                [1, 1, 1, 0, 2],
+                [1, 1, 1, 1, 0],
+            ]
+        )
+        assert np.array_equal(t.data, expected)
+
+    def test_a5_domain_and_labels(self):
+        t = running_example()
+        a5 = t.schema.attribute("A5")
+        assert a5.domain_size == 5
+        assert a5.label_of(0) == "1"
+        assert a5.label_of(2) == "3"
+
+    def test_only_values_1_and_3_appear_in_a5(self):
+        t = running_example()
+        assert set(np.unique(t.data[:, 4])) == {0, 2}
+
+    def test_figure_1_query_q2(self):
+        # q2 = (A1=1 AND A2=0) underflows in Figure 1.
+        t = running_example()
+        q2 = ConjunctiveQuery().extended(0, 1).extended(1, 0)
+        assert t.count(q2) == 0
+        # Its sibling q2' = (A1=1 AND A2=1) holds t5, t6.
+        q2p = ConjunctiveQuery().extended(0, 1).extended(1, 1)
+        assert t.count(q2p) == 2
+
+
+class TestWorstCase:
+    def test_structure(self):
+        t = worst_case(6)
+        assert t.num_tuples == 7
+        assert t.num_attributes == 6
+        # t0 is all zeros; ti flips the last i attributes.
+        assert (t.data[0] == 0).all()
+        for i in range(1, 7):
+            row = t.data[i]
+            assert (row[: 6 - i] == 0).all()
+            assert (row[6 - i:] == 1).all()
+
+    def test_two_leaf_level_top_valid_nodes(self):
+        # With k=1, both t0 (0...0) and t1 (0...01) sit at the deepest
+        # level: their common prefix of n-1 zeros holds 2 tuples.
+        t = worst_case(8)
+        prefix = ConjunctiveQuery()
+        for attr in range(7):
+            prefix = prefix.extended(attr, 0)
+        assert t.count(prefix) == 2
+
+    def test_no_duplicates(self):
+        t = worst_case(10)
+        assert np.unique(t.data, axis=0).shape[0] == 11
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            worst_case(1)

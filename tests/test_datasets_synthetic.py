@@ -1,0 +1,88 @@
+"""Unit tests for the Boolean dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    bool_iid,
+    bool_mixed,
+    bool_mixed_probabilities,
+    boolean_table,
+)
+
+
+class TestBooleanTable:
+    def test_shape(self):
+        t = boolean_table(100, [0.5] * 12, seed=1)
+        assert t.num_tuples == 100
+        assert t.num_attributes == 12
+
+    def test_no_duplicates(self):
+        t = boolean_table(500, [0.5] * 10, seed=2)
+        assert np.unique(t.data, axis=0).shape[0] == 500
+
+    def test_deterministic_with_seed(self):
+        a = boolean_table(50, [0.3] * 8, seed=9)
+        b = boolean_table(50, [0.3] * 8, seed=9)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.measure("VALUE"), b.measure("VALUE"))
+
+    def test_different_seeds_differ(self):
+        a = boolean_table(50, [0.3] * 8, seed=9)
+        b = boolean_table(50, [0.3] * 8, seed=10)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_marginals_roughly_match(self):
+        probs = [0.1, 0.5, 0.9]
+        t = boolean_table(5000, probs + [0.5] * 12, seed=3)
+        observed = t.data[:, :3].mean(axis=0)
+        assert np.allclose(observed, probs, atol=0.05)
+
+    def test_value_measure_positive(self):
+        t = boolean_table(100, [0.5] * 10, seed=4)
+        assert (t.measure("VALUE") > 0).all()
+
+    def test_rejects_impossible_size(self):
+        with pytest.raises(ValueError):
+            boolean_table(100, [0.5] * 3, seed=1)  # 2^3 = 8 < 100
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            boolean_table(4, [0.5, 1.5], seed=1)
+        with pytest.raises(ValueError):
+            boolean_table(4, [], seed=1)
+
+    def test_degenerate_probabilities_do_not_count_as_entropy(self):
+        # p=0/p=1 columns are constant; capacity comes from the rest.
+        t = boolean_table(4, [0.0, 1.0, 0.5, 0.5], seed=1)
+        assert t.num_tuples == 4
+        assert (t.data[:, 0] == 0).all()
+        assert (t.data[:, 1] == 1).all()
+        with pytest.raises(ValueError):
+            boolean_table(5, [0.0, 1.0, 0.5, 0.5], seed=1)
+
+
+class TestPaperDatasets:
+    def test_bool_iid_defaults_scaled(self):
+        t = bool_iid(m=1000, n=20, seed=5)
+        assert t.num_tuples == 1000
+        assert t.num_attributes == 20
+        assert abs(t.data.mean() - 0.5) < 0.03
+
+    def test_bool_mixed_probability_vector(self):
+        probs = bool_mixed_probabilities()
+        assert len(probs) == 40
+        assert (probs[:5] == 0.5).all()
+        assert probs[5] == pytest.approx(1 / 70)
+        assert probs[-1] == pytest.approx(35 / 70)
+
+    def test_bool_mixed_is_skewed(self):
+        t = bool_mixed(m=2000, n=40, seed=6)
+        col_means = t.data.mean(axis=0)
+        # First five columns dense, early skewed columns sparse.
+        assert col_means[:5].mean() > 0.4
+        assert col_means[5] < 0.1
+
+    def test_bool_mixed_requires_room_for_uniform_attrs(self):
+        with pytest.raises(ValueError):
+            bool_mixed_probabilities(n=5, n_uniform=5)

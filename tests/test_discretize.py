@@ -1,0 +1,123 @@
+"""Unit tests for numeric-column discretisation (Section 2.1's premise)."""
+
+import numpy as np
+import pytest
+
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    HiddenDBClient,
+    SchemaError,
+    TopKInterface,
+    bucket_labels,
+    bucketise,
+    equi_depth_edges,
+    equi_width_edges,
+    promote_measure_to_attribute,
+)
+from repro.datasets import yahoo_auto
+
+
+class TestEdges:
+    def test_equi_width(self):
+        edges = equi_width_edges([0.0, 10.0], buckets=5)
+        assert np.allclose(edges, [2, 4, 6, 8])
+
+    def test_equi_width_constant_column(self):
+        edges = equi_width_edges([5.0, 5.0, 5.0], buckets=4)
+        assert len(edges) == 1
+
+    def test_equi_depth_balances_population(self):
+        values = np.concatenate([np.zeros(90), np.linspace(1, 100, 10)])
+        edges = equi_depth_edges(values, buckets=4)
+        codes = bucketise(values, edges)
+        # The huge zero-mass collapses cut points: still a valid bucketing
+        # (all indices within range, at least two distinct buckets).
+        assert codes.max() <= len(edges)
+        assert len(set(codes)) >= 2
+
+    def test_equi_depth_uniform_data(self):
+        values = np.arange(100, dtype=float)
+        edges = equi_depth_edges(values, buckets=4)
+        codes = bucketise(values, edges)
+        counts = np.bincount(codes)
+        assert counts.size == 4
+        assert counts.max() - counts.min() <= 2
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            equi_width_edges([1.0], buckets=1)
+        with pytest.raises(SchemaError):
+            equi_depth_edges([], buckets=3)
+
+
+class TestBucketise:
+    def test_boundaries(self):
+        edges = [10.0, 20.0]
+        assert list(bucketise([5, 10, 15, 20, 25], edges)) == [0, 1, 1, 2, 2]
+
+    def test_labels(self):
+        labels = bucket_labels([10.0, 20.0], unit="k")
+        assert labels == ("< 10k", "10k - 20k", ">= 20k")
+
+    def test_labels_empty_edges(self):
+        assert bucket_labels([]) == ("all",)
+
+
+class TestPromoteMeasure:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return yahoo_auto(m=1_000, seed=33)
+
+    def test_new_attribute_appended(self, table):
+        promoted = promote_measure_to_attribute(table, "PRICE", buckets=8)
+        assert len(promoted.schema) == len(table.schema) + 1
+        new_attr = promoted.schema.attribute("PRICE_RANGE")
+        assert 2 <= new_attr.domain_size <= 8
+        assert promoted.num_tuples == table.num_tuples
+
+    def test_measure_kept_by_default(self, table):
+        promoted = promote_measure_to_attribute(table, "PRICE", buckets=4)
+        assert "PRICE" in promoted.schema.measure_names
+
+    def test_measure_dropped_on_request(self, table):
+        promoted = promote_measure_to_attribute(
+            table, "PRICE", buckets=4, keep_measure=False
+        )
+        assert "PRICE" not in promoted.schema.measure_names
+
+    def test_range_queries_work_through_interface(self, table):
+        promoted = promote_measure_to_attribute(table, "PRICE", buckets=4)
+        attr_idx = promoted.schema.index_of("PRICE_RANGE")
+        client = HiddenDBClient(TopKInterface(promoted, k=50))
+        total = 0
+        for value in range(promoted.schema[attr_idx].domain_size):
+            total += promoted.count(ConjunctiveQuery().extended(attr_idx, value))
+        assert total == promoted.num_tuples
+
+    def test_codes_respect_price_order(self, table):
+        promoted = promote_measure_to_attribute(table, "PRICE", buckets=6)
+        attr_idx = promoted.schema.index_of("PRICE_RANGE")
+        codes = np.asarray(promoted.data[:, attr_idx])
+        prices = np.asarray(promoted.measure("PRICE"))
+        # Mean price must increase with the bucket index.
+        means = [prices[codes == c].mean() for c in sorted(set(codes))]
+        assert all(a < b for a, b in zip(means, means[1:]))
+
+    def test_estimation_on_promoted_attribute(self, table):
+        # End-to-end: estimate the count of the cheapest price range
+        # through the form using the new searchable attribute.
+        from repro.core import HDUnbiasedSize
+
+        promoted = promote_measure_to_attribute(table, "PRICE", buckets=4)
+        attr_idx = promoted.schema.index_of("PRICE_RANGE")
+        truth = promoted.count(ConjunctiveQuery().extended(attr_idx, 0))
+        client = HiddenDBClient(TopKInterface(promoted, k=50))
+        estimator = HDUnbiasedSize(
+            client, r=3, dub=32, condition={"PRICE_RANGE": 0}, seed=34
+        )
+        result = estimator.run(rounds=30)
+        assert result.mean == pytest.approx(truth, rel=0.45)
+
+    def test_unknown_method(self, table):
+        with pytest.raises(SchemaError):
+            promote_measure_to_attribute(table, "PRICE", 4, method="magic")

@@ -1,0 +1,133 @@
+"""Edge cases and failure paths across modules."""
+
+
+import pytest
+import numpy as np
+
+from repro.analysis import iter_top_valid, uniform_walk_probabilities
+from repro.core import BoolUnbiasedSize, HDUnbiasedSize
+from repro.core.drilldown import WalkKind, Walker
+from repro.core.weights import UniformWeights
+from repro.datasets import boolean_table, yahoo_auto
+from repro.hidden_db import (
+    Attribute,
+    ConjunctiveQuery,
+    HiddenDBClient,
+    HiddenTable,
+    Schema,
+    TopKInterface,
+)
+
+
+class TestDegenerateTables:
+    def test_single_tuple_database(self):
+        schema = Schema([Attribute("A", 2), Attribute("B", 2)])
+        table = HiddenTable.from_rows(schema, [[1, 0]])
+        est = HDUnbiasedSize(HiddenDBClient(TopKInterface(table, 1)), seed=1)
+        # Root is valid: exact.
+        assert est.run_once().value == 1.0
+
+    def test_empty_database(self):
+        schema = Schema([Attribute("A", 2)])
+        table = HiddenTable.from_rows(schema, [])
+        est = HDUnbiasedSize(HiddenDBClient(TopKInterface(table, 1)), seed=1)
+        assert est.run_once().value == 0.0
+
+    def test_all_tuples_share_one_branch(self):
+        # Every tuple under A=3 of a fanout-5 attribute.
+        schema = Schema([Attribute("A", 5), Attribute("B", 2), Attribute("C", 2)])
+        rows = [[3, b, c] for b in range(2) for c in range(2)]
+        table = HiddenTable.from_rows(schema, rows)
+        values = []
+        for seed in range(40):
+            est = BoolUnbiasedSize(
+                HiddenDBClient(TopKInterface(table, 1)), seed=seed
+            )
+            values.append(est.run_once().value)
+        # Level 1 contributes probability 1 (only branch 3 is non-empty),
+        # so estimates are driven purely by the Boolean levels: 4 per node.
+        assert np.mean(values) == pytest.approx(4.0, rel=0.35)
+
+    def test_database_equals_full_domain(self):
+        # Every cell of the domain occupied: drill downs bottom out at
+        # fully-specified valid queries; estimate must be exactly |Dom|
+        # every time (each level has all branches non-empty and equal).
+        schema = Schema([Attribute("A", 2), Attribute("B", 2)])
+        rows = [[a, b] for a in range(2) for b in range(2)]
+        table = HiddenTable.from_rows(schema, rows)
+        for seed in range(10):
+            est = BoolUnbiasedSize(
+                HiddenDBClient(TopKInterface(table, 1)), seed=seed
+            )
+            assert est.run_once().value == pytest.approx(4.0)
+
+
+class TestEnumerationEdges:
+    def test_duplicate_rows_detected_by_enumeration(self):
+        schema = Schema([Attribute("A", 2)])
+        table = HiddenTable.from_rows(schema, [[1], [1]])
+        with pytest.raises(RuntimeError):
+            list(iter_top_valid(table, 1, [0]))
+
+    def test_probabilities_on_conditioned_subtree(self):
+        table = boolean_table(100, [0.5] * 8, seed=3)
+        root = ConjunctiveQuery().extended(0, 1)
+        probs = uniform_walk_probabilities(table, 4, list(range(1, 8)), root=root)
+        truth = table.count(root)
+        assert sum(c for _, c in probs.values()) == truth
+
+
+class TestWalkerEdges:
+    def test_walk_depth_property(self):
+        table = boolean_table(100, [0.5] * 8, seed=4)
+        walker = Walker(
+            HiddenDBClient(TopKInterface(table, 4)),
+            UniformWeights(),
+            np.random.default_rng(5),
+        )
+        out = walker.drill_down(ConjunctiveQuery(), list(range(8)))
+        assert out.depth == len(out.steps) >= 1
+        assert out.kind in (WalkKind.TOP_VALID, WalkKind.BOTTOM_OVERFLOW)
+
+    def test_walk_on_conditioned_root(self):
+        table = boolean_table(100, [0.5] * 8, seed=6)
+        root = ConjunctiveQuery().extended(0, 0)
+        if table.count(root) <= 4:
+            pytest.skip("unlucky split")
+        walker = Walker(
+            HiddenDBClient(TopKInterface(table, 4)),
+            UniformWeights(),
+            np.random.default_rng(7),
+        )
+        out = walker.drill_down(root, list(range(1, 8)))
+        assert out.query.constrains(0)
+        assert out.query.value_of(0) == 0
+
+
+class TestYahooGeneratorKnobs:
+    def test_option_noise_controls_clustering(self):
+        tight = yahoo_auto(m=2_000, seed=8, option_flip_noise=0.01)
+        loose = yahoo_auto(m=2_000, seed=8, option_flip_noise=0.3)
+        # Distinct option-bit patterns: tighter noise -> fewer patterns.
+        def patterns(table):
+            return np.unique(table.data[:, 6:], axis=0).shape[0]
+
+        assert patterns(tight) < patterns(loose)
+
+    def test_generator_scales_down_to_tiny(self):
+        table = yahoo_auto(m=50, seed=9)
+        assert table.num_tuples == 50
+
+
+class TestSessionEdgeBudgets:
+    def test_budget_of_one_round(self, small_bool_table):
+        client = HiddenDBClient(TopKInterface(small_bool_table, 5))
+        est = HDUnbiasedSize(client, r=2, dub=8, seed=10)
+        result = est.run(query_budget=1)  # one round always completes
+        assert result.rounds == 1
+
+    def test_rounds_and_budget_combined(self, small_bool_table):
+        client = HiddenDBClient(TopKInterface(small_bool_table, 5))
+        est = HDUnbiasedSize(client, r=2, dub=8, seed=11)
+        result = est.run(rounds=100, query_budget=60)
+        assert result.rounds < 100

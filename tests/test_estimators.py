@@ -1,0 +1,164 @@
+"""Integration tests for the public size estimators."""
+
+
+import pytest
+import numpy as np
+
+from repro.core import BoolUnbiasedSize, HDUnbiasedSize
+from repro.datasets import boolean_table, running_example
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    HiddenDBClient,
+    InvalidQueryError,
+    QueryCounter,
+    QueryLimitExceeded,
+    TopKInterface,
+)
+
+
+def client_for(table, k, limit=None):
+    return HiddenDBClient(TopKInterface(table, k, counter=QueryCounter(limit=limit)))
+
+
+class TestRunOnce:
+    def test_round_estimate_fields(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), r=2, dub=8, seed=1)
+        round_est = est.run_once()
+        assert round_est.value > 0
+        assert round_est.cost > 0
+        assert round_est.walks >= 2
+
+    def test_valid_root_is_exact(self):
+        table = boolean_table(8, [0.5] * 6, seed=2)
+        est = HDUnbiasedSize(client_for(table, 20), seed=1)
+        assert est.run_once().value == 8.0
+
+    def test_empty_condition_gives_zero(self):
+        table = running_example()
+        est = HDUnbiasedSize(
+            client_for(table, 1), condition={"A5": "2"}, seed=1
+        )
+        assert est.run_once().value == 0.0
+
+    def test_run_once_zero_cost_when_cached(self, small_bool_table):
+        client = client_for(small_bool_table, 5)
+        est = BoolUnbiasedSize(client, seed=3)
+        costs = [est.run_once().cost for _ in range(400)]
+        assert costs[0] > 0
+        assert min(costs) == 0  # eventually a fully cached walk occurs
+
+
+class TestRun:
+    def test_rounds_mode(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), r=2, dub=8, seed=4)
+        result = est.run(rounds=10)
+        assert result.rounds == 10
+        assert len(result.estimates) == 10
+        assert result.total_cost > 0
+        assert len(result.trajectory) == 10
+
+    def test_budget_mode(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), r=2, dub=8, seed=5)
+        result = est.run(query_budget=150)
+        # The last round may overshoot, but not by more than one round.
+        assert result.total_cost >= 150 or result.rounds >= 1
+
+    def test_requires_some_stopping_rule(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), seed=1)
+        with pytest.raises(ValueError):
+            est.run()
+
+    def test_mean_matches_average_of_rounds(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), r=2, dub=8, seed=6)
+        result = est.run(rounds=7)
+        assert result.mean == pytest.approx(np.mean(result.estimates))
+
+    def test_trajectory_costs_monotone(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), r=2, dub=8, seed=7)
+        result = est.run(rounds=12)
+        assert result.trajectory.xs == sorted(result.trajectory.xs)
+
+    def test_ci_contains_truth_usually(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), r=3, dub=8, seed=8)
+        result = est.run(rounds=60)
+        low, high = result.ci95
+        assert low < 300 < high
+
+    def test_hard_limit_stops_gracefully(self, small_bool_table):
+        est = HDUnbiasedSize(
+            client_for(small_bool_table, 5, limit=120), r=2, dub=8, seed=9
+        )
+        result = est.run(rounds=10_000)
+        assert result.rounds >= 1
+        assert result.total_cost <= 120
+
+    def test_hard_limit_before_first_round_raises(self, small_bool_table):
+        est = HDUnbiasedSize(
+            client_for(small_bool_table, 5, limit=1), r=2, dub=8, seed=10
+        )
+        with pytest.raises(QueryLimitExceeded):
+            est.run(rounds=3)
+
+    def test_budget_only_session_terminates_when_cached(self):
+        # Tiny table: the cache soon answers everything; the stall guard
+        # must end the session even though the budget is never reached.
+        table = boolean_table(30, [0.5] * 6, seed=11)
+        est = BoolUnbiasedSize(client_for(table, 2), seed=12)
+        result = est.run(query_budget=100_000)
+        assert result.rounds < 10_000
+
+
+class TestConvergence:
+    def test_bool_converges_to_truth(self, small_bool_table):
+        est = BoolUnbiasedSize(client_for(small_bool_table, 5), seed=13)
+        result = est.run(rounds=300)
+        assert result.mean == pytest.approx(300, rel=0.15)
+
+    def test_hd_converges_to_truth(self, small_bool_table):
+        est = HDUnbiasedSize(client_for(small_bool_table, 5), r=3, dub=8, seed=14)
+        result = est.run(rounds=80)
+        assert result.mean == pytest.approx(300, rel=0.15)
+
+    def test_hd_on_categorical_yahoo(self, small_yahoo_table):
+        est = HDUnbiasedSize(client_for(small_yahoo_table, 50), r=4, dub=32, seed=15)
+        result = est.run(rounds=40)
+        assert result.mean == pytest.approx(1_500, rel=0.35)
+
+
+class TestConditions:
+    def test_count_under_condition(self, small_yahoo_table):
+        schema = small_yahoo_table.schema
+        condition = {"MAKE": "Toyota"}
+        truth = small_yahoo_table.count(
+            ConjunctiveQuery().extended(schema.index_of("MAKE"), 0)
+        )
+        est = HDUnbiasedSize(
+            client_for(small_yahoo_table, 50), r=4, dub=32,
+            condition=condition, seed=16,
+        )
+        result = est.run(rounds=40)
+        assert result.mean == pytest.approx(truth, rel=0.4)
+
+    def test_condition_fixing_everything_rejected(self):
+        table = running_example()
+        condition = {"A1": 0, "A2": 0, "A3": 0, "A4": 0, "A5": "1"}
+        with pytest.raises(InvalidQueryError):
+            HDUnbiasedSize(client_for(table, 1), condition=condition)
+
+    def test_invalid_r(self, small_bool_table):
+        with pytest.raises(ValueError):
+            HDUnbiasedSize(client_for(small_bool_table, 5), r=0)
+
+
+class TestBoolUnbiasedSize:
+    def test_is_parameterless_plain_walker(self, small_bool_table):
+        est = BoolUnbiasedSize(client_for(small_bool_table, 5), seed=17)
+        assert est.r == 1
+        assert est.dub is None
+        assert not est.weight_adjustment
+        assert len(est.segments) == 1
+
+    def test_one_walk_per_round(self, small_bool_table):
+        est = BoolUnbiasedSize(client_for(small_bool_table, 5), seed=18)
+        round_est = est.run_once()
+        assert round_est.walks == 1

@@ -1,0 +1,125 @@
+"""Integration tests for HD-UNBIASED-AGG (SUM / COUNT / AVG)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import HDUnbiasedAgg, resolve_condition
+from repro.datasets import running_example
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    HiddenDBClient,
+    InvalidQueryError,
+    TopKInterface,
+)
+
+
+def client_for(table, k):
+    return HiddenDBClient(TopKInterface(table, k))
+
+
+class TestConstruction:
+    def test_sum_requires_measure(self, small_bool_table):
+        with pytest.raises(ValueError):
+            HDUnbiasedAgg(client_for(small_bool_table, 5), aggregate="sum")
+
+    def test_unknown_measure_rejected(self, small_bool_table):
+        with pytest.raises(InvalidQueryError):
+            HDUnbiasedAgg(
+                client_for(small_bool_table, 5), aggregate="sum", measure="XX"
+            )
+
+    def test_unknown_aggregate_rejected(self, small_bool_table):
+        with pytest.raises(ValueError):
+            HDUnbiasedAgg(client_for(small_bool_table, 5), aggregate="median")
+
+    def test_count_needs_no_measure(self, small_bool_table):
+        est = HDUnbiasedAgg(
+            client_for(small_bool_table, 5), aggregate="count", seed=1
+        )
+        assert est.run_once().value > 0
+
+
+class TestSum:
+    def test_sum_converges(self, small_bool_table):
+        truth = float(small_bool_table.measure("VALUE").sum())
+        est = HDUnbiasedAgg(
+            client_for(small_bool_table, 5), aggregate="sum", measure="VALUE",
+            r=3, dub=8, seed=2,
+        )
+        result = est.run(rounds=80)
+        assert result.mean == pytest.approx(truth, rel=0.25)
+
+    def test_sum_unbiased_monte_carlo(self, small_bool_table):
+        truth = float(small_bool_table.measure("VALUE").sum())
+        values = []
+        for i in range(300):
+            est = HDUnbiasedAgg(
+                client_for(small_bool_table, 5), aggregate="sum",
+                measure="VALUE", r=2, dub=8, seed=50_000 + i,
+            )
+            values.append(est.run_once().value)
+        arr = np.asarray(values)
+        se = arr.std(ddof=1) / math.sqrt(len(arr))
+        assert abs(arr.mean() - truth) <= 3 * se
+
+    def test_sum_with_condition(self, small_yahoo_table):
+        schema = small_yahoo_table.schema
+        condition = {"MAKE": "Toyota"}
+        query = resolve_condition(schema, condition)
+        truth = small_yahoo_table.sum_measure(query, "PRICE")
+        est = HDUnbiasedAgg(
+            client_for(small_yahoo_table, 50), aggregate="sum",
+            measure="PRICE", r=4, dub=32, condition=condition, seed=3,
+        )
+        result = est.run(rounds=40)
+        assert result.mean == pytest.approx(truth, rel=0.45)
+
+
+class TestCount:
+    def test_count_equals_size_estimation(self, small_bool_table):
+        est = HDUnbiasedAgg(
+            client_for(small_bool_table, 5), aggregate="count", r=3, dub=8,
+            seed=4,
+        )
+        result = est.run(rounds=60)
+        assert result.mean == pytest.approx(300, rel=0.2)
+
+
+class TestAvg:
+    def test_avg_is_ratio_of_sum_and_count(self, small_bool_table):
+        truth = float(small_bool_table.measure("VALUE").mean())
+        est = HDUnbiasedAgg(
+            client_for(small_bool_table, 5), aggregate="avg", measure="VALUE",
+            r=3, dub=8, seed=5,
+        )
+        result = est.run(rounds=60)
+        # Biased but consistent; a loose tolerance documents usability.
+        assert result.mean == pytest.approx(truth, rel=0.25)
+
+    def test_avg_round_has_two_components(self, small_bool_table):
+        est = HDUnbiasedAgg(
+            client_for(small_bool_table, 5), aggregate="avg", measure="VALUE",
+            seed=6,
+        )
+        round_est = est.run_once()
+        assert round_est.values.shape == (1,) or round_est.values.shape == (2,)
+        assert round_est.values.shape == (2,)
+
+    def test_avg_statistic_handles_zero_count(self, small_bool_table):
+        est = HDUnbiasedAgg(
+            client_for(small_bool_table, 5), aggregate="avg", measure="VALUE",
+            seed=7,
+        )
+        assert math.isnan(est._statistic(np.array([5.0, 0.0])))
+
+
+class TestMeasureSemantics:
+    def test_exact_when_root_valid(self):
+        table = running_example()
+        est = HDUnbiasedAgg(
+            client_for(table, 10), aggregate="sum", measure="VALUE", seed=8
+        )
+        # All 6 tuples fit one page: exact total of 10+...+60.
+        assert est.run_once().value == pytest.approx(210.0)

@@ -1,0 +1,86 @@
+"""Smoke + shape tests for every figure runner (tiny scale).
+
+The benchmarks exercise the figures at the reporting scale; these tests
+only establish that every runner produces a well-formed result and that
+the cheap structural properties hold.
+"""
+
+
+
+import pytest
+from repro.experiments.figures import FIGURE_RUNNERS
+from repro.experiments.figures.base import FigureResult, format_cell
+
+CHEAP_FIGURES = [
+    "fig11", "fig12", "fig13", "fig16", "fig17", "table_r", "fig18", "fig19",
+]
+
+
+class TestFigureResult:
+    def test_format_table_alignment(self):
+        result = FigureResult(
+            "figX", "demo", ["a", "bee"], [(1, 2.5), (10, 3.5e9)], notes="n"
+        )
+        text = result.format_table()
+        assert "figX" in text and "demo" in text
+        assert "3.500e+09" in text
+        assert text.endswith("-- n")
+
+    def test_column_accessor(self):
+        result = FigureResult("f", "t", ["x", "y"], [(1, 2), (3, 4)])
+        assert result.column("y") == [2, 4]
+        with pytest.raises(ValueError):
+            result.column("z")
+
+    def test_to_dict_roundtrip_fields(self):
+        result = FigureResult("f", "t", ["x"], [(1,)], meta={"k": 1})
+        d = result.to_dict()
+        assert d["figure_id"] == "f"
+        assert d["rows"] == [[1]]
+        assert d["meta"] == {"k": 1}
+
+    def test_format_cell(self):
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(2_000_000.0) == "2.000e+06"
+        assert format_cell(0.0001) == "1.000e-04"
+        assert format_cell(7) == "7"
+        assert format_cell(0.0) == "0"
+
+
+class TestRegistry:
+    def test_all_fifteen_experiments_registered(self):
+        expected = {
+            "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "table_r", "fig18",
+            "fig19",
+        }
+        assert set(FIGURE_RUNNERS) == expected
+
+
+@pytest.mark.parametrize("figure_id", CHEAP_FIGURES)
+def test_figure_runs_at_tiny_scale(figure_id):
+    result = FIGURE_RUNNERS[figure_id](scale="tiny", seed=2)
+    assert isinstance(result, FigureResult)
+    assert result.figure_id == figure_id
+    assert result.rows
+    assert all(len(row) == len(result.columns) for row in result.rows)
+    text = result.format_table()
+    assert result.figure_id in text
+
+
+class TestFig18Shape:
+    def test_ten_runs_with_truth(self):
+        result = FIGURE_RUNNERS["fig18"](scale="tiny", seed=3)
+        assert len(result.rows) == 10
+        truths = set(result.column("true_count"))
+        assert len(truths) == 1  # same ground truth in every row
+
+
+class TestFig19Shape:
+    def test_five_models(self):
+        result = FIGURE_RUNNERS["fig19"](scale="tiny", seed=3)
+        assert len(result.rows) == 5
+        labels = result.column("model")
+        assert "Toyota Corolla" in labels
+        assert "Ford F-150" in labels

@@ -1,0 +1,112 @@
+"""Unit tests for failure injection and client retries."""
+
+import pytest
+
+from repro.core import HDUnbiasedSize
+from repro.datasets import boolean_table
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    FlakyInterface,
+    HiddenDBClient,
+    TopKInterface,
+    TransientServerError,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return boolean_table(400, [0.5] * 10, seed=81)
+
+
+def flaky_client(table, rate, retries, seed=0, charge_failures=False):
+    flaky = FlakyInterface(
+        TopKInterface(table, 10), failure_rate=rate,
+        charge_failures=charge_failures, seed=seed,
+    )
+    return HiddenDBClient(flaky, retries=retries), flaky
+
+
+class TestFlakyInterface:
+    def test_failures_are_injected(self, table):
+        client, flaky = flaky_client(table, rate=0.5, retries=0, seed=1)
+        failures = 0
+        for _ in range(50):
+            client.clear_cache()  # cache hits never reach the server
+            try:
+                client.query(ConjunctiveQuery())
+            except TransientServerError:
+                failures += 1
+        assert failures > 0
+        assert flaky.failures_injected == failures
+
+    def test_zero_rate_never_fails(self, table):
+        client, _ = flaky_client(table, rate=0.0, retries=0, seed=2)
+        for _ in range(20):
+            client.query(ConjunctiveQuery())
+
+    def test_failures_not_charged_by_default(self, table):
+        client, flaky = flaky_client(table, rate=0.9, retries=0, seed=3)
+        charged_before = flaky.counter.issued
+        with pytest.raises(TransientServerError):
+            for _ in range(100):
+                client.clear_cache()
+                client.query(ConjunctiveQuery())
+        assert flaky.counter.issued >= charged_before
+
+    def test_charge_failures_mode(self, table):
+        client, flaky = flaky_client(
+            table, rate=0.99, retries=0, seed=4, charge_failures=True
+        )
+        with pytest.raises(TransientServerError):
+            client.query(ConjunctiveQuery())
+        assert flaky.counter.issued == 1
+
+    def test_rate_validation(self, table):
+        with pytest.raises(ValueError):
+            FlakyInterface(TopKInterface(table, 10), failure_rate=1.0)
+
+
+class TestClientRetries:
+    def test_retries_mask_transient_failures(self, table):
+        client, flaky = flaky_client(table, rate=0.4, retries=10, seed=5)
+        for _ in range(30):
+            result = client.query(ConjunctiveQuery())
+            client.clear_cache()
+        assert result is not None
+        assert client.retries_performed > 0
+
+    def test_retry_budget_exhaustion_propagates(self, table):
+        client, _ = flaky_client(table, rate=0.95, retries=1, seed=6)
+        with pytest.raises(TransientServerError):
+            for _ in range(200):
+                client.clear_cache()
+                client.query(ConjunctiveQuery())
+
+    def test_retries_validation(self, table):
+        with pytest.raises(ValueError):
+            HiddenDBClient(TopKInterface(table, 10), retries=-1)
+
+    def test_estimation_survives_flaky_server(self, table):
+        # The headline: estimates through a 20%-flaky server with retries
+        # are the *same random variable* as through a reliable one; only
+        # latency/attempts change.  (Same seed != same walk here because
+        # the walk RNG is separate from the failure RNG, so we check
+        # statistical sanity instead.)
+        client, flaky = flaky_client(table, rate=0.2, retries=25, seed=7)
+        estimator = HDUnbiasedSize(client, r=3, dub=16, seed=8)
+        result = estimator.run(rounds=25)
+        assert result.mean == pytest.approx(400, rel=0.35)
+        assert flaky.failures_injected > 0
+
+    def test_estimates_identical_to_reliable_server_with_same_walk_seed(
+        self, table
+    ):
+        # The failure stream is independent of the walk stream, so with
+        # retries high enough to absorb all failures the walk sequence —
+        # and hence every estimate — is bit-identical to the reliable run.
+        reliable = HDUnbiasedSize(
+            HiddenDBClient(TopKInterface(table, 10)), r=3, dub=16, seed=9
+        ).run(rounds=10)
+        client, _ = flaky_client(table, rate=0.3, retries=100, seed=10)
+        flaky_result = HDUnbiasedSize(client, r=3, dub=16, seed=9).run(rounds=10)
+        assert flaky_result.estimates == reliable.estimates

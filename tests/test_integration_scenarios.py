@@ -1,0 +1,140 @@
+"""Cross-module integration scenarios.
+
+These tests wire several subsystems together the way a downstream user
+would: estimators against crawl-derived ground truth, determinism across
+runs, cache-independence of the estimates, and budget failure injection.
+"""
+
+import pytest
+
+from repro.core import BoolUnbiasedSize, HDUnbiasedAgg, HDUnbiasedSize
+from repro.core.estimators import resolve_condition
+from repro.datasets import boolean_table, yahoo_auto
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    HiddenDBClient,
+    QueryCounter,
+    QueryLimitExceeded,
+    TopKInterface,
+    crawl,
+)
+
+
+def client_for(table, k, cache=True, limit=None):
+    return HiddenDBClient(
+        TopKInterface(table, k, counter=QueryCounter(limit=limit)), cache=cache
+    )
+
+
+class TestEstimateVsCrawl:
+    """The estimator and the crawler see the same form; their answers must
+    agree (statistically) while their costs differ wildly."""
+
+    def test_estimate_matches_crawl_at_fraction_of_cost(self):
+        table = boolean_table(3_000, [0.5] * 13, seed=41)
+        crawl_client = client_for(table, k=10)
+        crawl_result = crawl(crawl_client)
+        est_client = client_for(table, k=10)
+        estimator = HDUnbiasedSize(est_client, r=3, dub=16, seed=42)
+        result = estimator.run(rounds=15)
+        assert crawl_result.size == 3_000
+        assert result.mean == pytest.approx(3_000, rel=0.25)
+        assert est_client.cost < crawl_result.query_cost / 2
+
+    def test_conditioned_estimate_matches_subtree_crawl(self):
+        table = yahoo_auto(m=2_000, seed=43)
+        schema = table.schema
+        condition = {"MAKE": "Ford"}
+        root = resolve_condition(schema, condition)
+        crawl_result = crawl(client_for(table, k=50), root=root)
+        estimator = HDUnbiasedSize(
+            client_for(table, k=50), r=4, dub=32, condition=condition, seed=44
+        )
+        result = estimator.run(rounds=40)
+        assert result.mean == pytest.approx(crawl_result.size, rel=0.4)
+
+
+class TestDeterminism:
+    def test_same_seed_same_session(self):
+        table = boolean_table(500, [0.5] * 10, seed=45)
+        results = []
+        for _ in range(2):
+            estimator = HDUnbiasedSize(
+                client_for(table, 10), r=3, dub=8, seed=46
+            )
+            results.append(estimator.run(rounds=8))
+        assert results[0].estimates == results[1].estimates
+        assert results[0].total_cost == results[1].total_cost
+
+    def test_cache_does_not_change_estimates(self):
+        # The cache changes what is *charged*, never what is *answered*:
+        # the same seed must produce identical estimates with and without
+        # caching, at different cost.
+        table = boolean_table(500, [0.5] * 10, seed=47)
+        cached = HDUnbiasedSize(
+            client_for(table, 10, cache=True), r=3, dub=8, seed=48
+        ).run(rounds=8)
+        uncached = HDUnbiasedSize(
+            client_for(table, 10, cache=False), r=3, dub=8, seed=48
+        ).run(rounds=8)
+        assert cached.estimates == uncached.estimates
+        assert cached.total_cost < uncached.total_cost
+
+
+class TestAggregatesAgainstGroundTruth:
+    def test_sum_count_avg_triangle(self):
+        # SUM / COUNT estimated from the same interface must satisfy the
+        # AVG ratio the estimator reports.
+        table = yahoo_auto(m=2_000, seed=49)
+        estimator = HDUnbiasedAgg(
+            client_for(table, 50), aggregate="avg", measure="PRICE",
+            r=4, dub=32, seed=50,
+        )
+        result = estimator.run(rounds=30)
+        true_avg = float(table.measure("PRICE").mean())
+        assert result.mean == pytest.approx(true_avg, rel=0.3)
+
+
+class TestFailureInjection:
+    def test_budget_dies_mid_session(self):
+        table = boolean_table(800, [0.5] * 12, seed=51)
+        estimator = HDUnbiasedSize(
+            client_for(table, 10, limit=90), r=3, dub=16, seed=52
+        )
+        result = estimator.run(rounds=1_000)
+        assert result.rounds >= 1
+        assert result.total_cost <= 90
+        # Estimates collected before the cut are still usable.
+        assert result.mean > 0
+
+    def test_budget_dies_during_crawl(self):
+        table = boolean_table(800, [0.5] * 12, seed=53)
+        with pytest.raises(QueryLimitExceeded):
+            crawl(client_for(table, k=10, limit=20))
+
+    def test_bool_estimator_with_one_query_budget(self):
+        # k above m: the very first (root) query answers exactly.
+        table = boolean_table(30, [0.5] * 8, seed=54)
+        estimator = BoolUnbiasedSize(client_for(table, 50, limit=1), seed=55)
+        assert estimator.run_once().value == 30.0
+
+
+class TestSessionComposition:
+    def test_sequential_sessions_share_cache_but_not_statistics(self):
+        table = boolean_table(500, [0.5] * 10, seed=56)
+        client = client_for(table, 10)
+        first = HDUnbiasedSize(client, r=3, dub=8, seed=57).run(rounds=6)
+        second = HDUnbiasedSize(client, r=3, dub=8, seed=58).run(rounds=6)
+        # The second session benefits from the warm cache.
+        assert second.total_cost <= first.total_cost
+        assert len(second.estimates) == 6
+
+    def test_weight_store_improves_across_rounds(self):
+        # Later rounds of one session tend to be cheaper and tighter: at
+        # minimum the session must complete and stay positive.
+        table = boolean_table(500, [0.5, 0.5, 0.1, 0.2, 0.3, 0.15, 0.4,
+                                    0.25, 0.1, 0.35], seed=59)
+        estimator = HDUnbiasedSize(client_for(table, 10), r=3, dub=8, seed=60)
+        result = estimator.run(rounds=25)
+        assert all(e >= 0 for e in result.estimates)
+        assert result.mean == pytest.approx(500, rel=0.4)

@@ -1,0 +1,93 @@
+"""Unit tests for the online form simulator."""
+
+import pytest
+
+from repro.datasets import yahoo_auto
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    HiddenDBClient,
+    OnlineFormSimulator,
+    QueryLimitExceeded,
+    QueryRejected,
+    TopKInterface,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return yahoo_auto(m=800, seed=5)
+
+
+def simulator(table, daily_limit=10):
+    iface = TopKInterface(table, k=20)
+    make_idx = table.schema.index_of("MAKE")
+    model_idx = table.schema.index_of("MODEL")
+    return OnlineFormSimulator(
+        iface, required_attributes=(make_idx, model_idx), daily_limit=daily_limit
+    )
+
+
+class TestRequiredAttributes:
+    def test_rejects_query_without_required_attribute(self, table):
+        sim = simulator(table)
+        with pytest.raises(QueryRejected):
+            sim.query(ConjunctiveQuery())
+
+    def test_accepts_query_with_make(self, table):
+        sim = simulator(table)
+        make_idx = table.schema.index_of("MAKE")
+        result = sim.query(ConjunctiveQuery().extended(make_idx, 0))
+        assert result is not None
+
+    def test_accepts_query_with_model_only(self, table):
+        sim = simulator(table)
+        model_idx = table.schema.index_of("MODEL")
+        sim.query(ConjunctiveQuery().extended(model_idx, 0))
+        assert sim.total_issued == 1
+
+    def test_rejected_queries_are_not_charged(self, table):
+        sim = simulator(table)
+        with pytest.raises(QueryRejected):
+            sim.query(ConjunctiveQuery())
+        assert sim.total_issued == 0
+
+    def test_no_required_attributes_accepts_root(self, table):
+        sim = OnlineFormSimulator(TopKInterface(table, k=20), daily_limit=5)
+        assert sim.query(ConjunctiveQuery()) is not None
+
+
+class TestDailyLimit:
+    def test_limit_enforced(self, table):
+        sim = simulator(table, daily_limit=3)
+        make_idx = table.schema.index_of("MAKE")
+        for value in range(3):
+            sim.query(ConjunctiveQuery().extended(make_idx, value))
+        with pytest.raises(QueryLimitExceeded):
+            sim.query(ConjunctiveQuery().extended(make_idx, 3))
+
+    def test_advance_day_refreshes_quota(self, table):
+        sim = simulator(table, daily_limit=2)
+        make_idx = table.schema.index_of("MAKE")
+        sim.query(ConjunctiveQuery().extended(make_idx, 0))
+        sim.query(ConjunctiveQuery().extended(make_idx, 1))
+        sim.advance_day()
+        sim.query(ConjunctiveQuery().extended(make_idx, 2))
+        assert sim.day == 1
+        assert sim.total_issued == 3
+
+    def test_client_cost_uses_lifetime_total(self, table):
+        sim = simulator(table, daily_limit=2)
+        client = HiddenDBClient(sim)
+        make_idx = table.schema.index_of("MAKE")
+        client.query(ConjunctiveQuery().extended(make_idx, 0))
+        client.query(ConjunctiveQuery().extended(make_idx, 1))
+        sim.advance_day()
+        client.query(ConjunctiveQuery().extended(make_idx, 2))
+        assert client.cost == 3  # not reset by the new day
+
+    def test_unlimited_daily_quota(self, table):
+        sim = simulator(table, daily_limit=None)
+        make_idx = table.schema.index_of("MAKE")
+        for value in range(16):
+            sim.query(ConjunctiveQuery().extended(make_idx, value))
+        assert sim.total_issued == 16

@@ -1,0 +1,89 @@
+"""Section 4.1.1's perfect-alignment claim, tested literally.
+
+With branch weights proportional to the *true* subtree counts, the paper
+states that every top-valid node q is reached with probability exactly
+``|q|/m`` and the estimate collapses to m with zero variance.  Passing
+these tests requires every piece of the walker's probability accounting
+(weighted picks, smart-backtracking windows, Boolean shortcuts) to be
+exact — it is the sharpest end-to-end validation in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OracleWeights
+from repro.core.drilldown import Walker, WalkKind
+from repro.datasets import boolean_table, running_example, worst_case
+from repro.hidden_db import ConjunctiveQuery, HiddenDBClient, TopKInterface
+
+
+def oracle_walker(table, k, seed):
+    client = HiddenDBClient(TopKInterface(table, k))
+    return Walker(client, OracleWeights(table), np.random.default_rng(seed))
+
+
+class TestPerfectAlignment:
+    def test_every_walk_estimates_exactly_m(self):
+        table = boolean_table(300, [0.5, 0.5, 0.2, 0.3, 0.4, 0.15, 0.25,
+                                    0.35, 0.45, 0.3], seed=5)
+        order = list(range(10))
+        for seed in range(40):
+            walker = oracle_walker(table, 5, seed)
+            out = walker.drill_down(ConjunctiveQuery(), order)
+            assert out.kind is WalkKind.TOP_VALID
+            estimate = out.result.num_returned / out.probability
+            assert estimate == pytest.approx(300.0, rel=1e-9)
+
+    def test_probability_equals_count_share(self):
+        table = running_example()
+        for seed in range(30):
+            walker = oracle_walker(table, 1, seed)
+            out = walker.drill_down(ConjunctiveQuery(), [0, 1, 2, 3, 4])
+            assert out.probability == pytest.approx(
+                out.result.num_returned / 6.0
+            )
+
+    def test_zero_variance_even_on_worst_case(self):
+        # Figure 4's nightmare table is completely tamed by perfect
+        # alignment: every walk returns m = n + 1 exactly.
+        table = worst_case(10)
+        estimates = []
+        for seed in range(30):
+            walker = oracle_walker(table, 1, seed)
+            out = walker.drill_down(ConjunctiveQuery(), list(range(10)))
+            estimates.append(out.result.num_returned / out.probability)
+        assert np.allclose(estimates, 11.0)
+
+    def test_oracle_never_backtracks(self):
+        # Zero-probability (empty) branches are never picked, so the
+        # landing probability is always the picked branch's own weight.
+        table = worst_case(8)
+        walker = oracle_walker(table, 1, seed=3)
+        out = walker.drill_down(ConjunctiveQuery(), list(range(8)))
+        for step in out.steps:
+            assert 0 < step.probability <= 1.0
+
+    def test_oracle_with_dnc_still_exact(self):
+        # Divide-&-conquer on top of perfect weights keeps the zero
+        # variance: each pass averages r walks that each estimate m.
+        from repro.core.divide_conquer import estimate_tree
+        from repro.core.partition import segment_attributes
+
+        table = boolean_table(300, [0.5, 0.5, 0.2, 0.3, 0.4, 0.15, 0.25,
+                                    0.35, 0.45, 0.3], seed=5)
+        client = HiddenDBClient(TopKInterface(table, 5))
+        walker = Walker(client, OracleWeights(table), np.random.default_rng(9))
+        segments = segment_attributes(list(range(10)), table.schema, 8)
+        est = estimate_tree(
+            walker, ConjunctiveQuery(), segments, r=2,
+            mass_fn=lambda res: np.array([float(res.num_returned)]), dims=1,
+        )
+        assert est.values[0] == pytest.approx(300.0, rel=1e-9)
+
+    def test_empty_node_distribution_falls_back_uniform(self):
+        table = running_example()
+        oracle = OracleWeights(table)
+        # A node with no tuples under it: uniform fallback, no crash.
+        empty_key = frozenset({(4, 1)})  # A5='2' matches nothing
+        dist = oracle.branch_distribution(empty_key, 0, 2)
+        assert np.allclose(dist, 0.5)

@@ -1,0 +1,150 @@
+"""End-to-end checks against every worked example in the paper's text.
+
+These tests pin our implementation to the published numbers: Figure 1's
+tree classification, the q4 walk probability (Section 3.1), Figure 3's
+smart-backtracking cost (Section 3.2), the Section 4.2.2 partitioning
+example, and the Section 4.1.1 weight-adjustment example.
+"""
+
+import pytest
+
+from repro.analysis import (
+    smart_backtracking_expected_probes,
+    uniform_walk_probabilities,
+)
+from repro.core.partition import segment_attributes
+from repro.core.weights import WeightStore
+from repro.core.drilldown import WalkStep
+from repro.datasets import running_example
+from repro.hidden_db import ConjunctiveQuery, HiddenDBClient, TopKInterface
+
+
+ORDER = [0, 1, 2, 3, 4]  # A1..A5 as in Figure 1
+
+
+@pytest.fixture()
+def table():
+    return running_example()
+
+
+class TestFigure1Classification:
+    """Figure 1 labels nodes of the A1..A4 tree (k=1)."""
+
+    def test_q1_overflows(self, table):
+        # q1 = (A1=0) holds t1..t4.
+        assert table.count(ConjunctiveQuery().extended(0, 0)) == 4
+
+    def test_q2_underflows_and_sibling_overflows(self, table):
+        q2 = ConjunctiveQuery().extended(0, 1).extended(1, 0)
+        assert table.count(q2) == 0
+        q2_sibling = ConjunctiveQuery().extended(0, 1).extended(1, 1)
+        assert table.count(q2_sibling) == 2  # t5, t6 -> overflow at k=1
+
+    def test_q4_is_top_valid(self, table):
+        # q4 = (A1=1, A2=1, A3=1, A4=1) returns exactly t6.
+        q4 = ConjunctiveQuery((tuple((i, 1) for i in range(4))))
+        assert table.count(q4) == 1
+        parent = q4.parent()
+        assert table.count(parent) == 2  # overflows at k=1
+
+    def test_six_top_valid_nodes(self, table):
+        probs = uniform_walk_probabilities(table, 1, [0, 1, 2, 3])
+        # Over A1..A4 only, t5 and t6 share the prefix (1,1,1): at k=1 the
+        # level-4 nodes split them -> 6 top-valid nodes, one per tuple.
+        assert len(probs) == 6
+        assert sum(c for _, c in probs.values()) == 6
+
+
+class TestSection31WalkProbability:
+    """Section 3.1: p(q4) = 1/4 via h1 = 2 Scenario-I levels."""
+
+    def test_q4_probability_is_one_quarter(self, table):
+        probs = uniform_walk_probabilities(table, 1, [0, 1, 2, 3])
+        q4 = ConjunctiveQuery(tuple((i, 1) for i in range(4)))
+        prob, count = probs[q4.key]
+        assert prob == pytest.approx(0.25)
+        assert count == 1
+        # And the resulting Horvitz-Thompson estimate is |q|/p = 4,
+        # matching the paper's worked number.
+        assert count / prob == pytest.approx(4.0)
+
+    def test_expected_estimate_is_m(self, table):
+        # Theorem 1 checked exactly: sum over nodes of p * (|q|/p) = 6.
+        probs = uniform_walk_probabilities(table, 1, [0, 1, 2, 3])
+        expectation = sum(p * (c / p) for p, c in probs.values())
+        assert expectation == pytest.approx(6.0)
+
+
+class TestSection32SmartBacktracking:
+    """Figure 3: A5 has non-empty branches q1, q3; QC = 3.6."""
+
+    def test_branch_structure(self, table):
+        counts = [
+            table.count(ConjunctiveQuery().extended(4, v)) for v in range(5)
+        ]
+        assert counts == [5, 0, 1, 0, 0]
+
+    def test_qc_is_3_6(self, table):
+        counts = [
+            table.count(ConjunctiveQuery().extended(4, v)) for v in range(5)
+        ]
+        pattern = [c == 0 for c in counts]
+        assert smart_backtracking_expected_probes(pattern) == pytest.approx(3.6)
+
+    def test_wu_values_from_the_text(self, table):
+        # "q1 and q5 have wU = 2 and 1" — in 0-based terms branch 0 has a
+        # preceding empty run of length 2 (branches 4, 3) and branch 2 has
+        # run length 1 (branch 1); landing probs 3/5 and 2/5.
+        probs = uniform_walk_probabilities(table, 1, [4, 0, 1, 2, 3])
+        # Aggregate landing probability of the two subtrees:
+        level1 = {0: 0.0, 2: 0.0}
+        for key, (p, c) in probs.items():
+            a5_value = dict(key)[4]
+            level1[a5_value] += p
+        assert level1[0] == pytest.approx(3 / 5)
+        assert level1[2] == pytest.approx(2 / 5)
+
+
+class TestSection42Partitioning:
+    """Section 4.2.2's D_UB = 10 example."""
+
+    def test_segments(self, table):
+        segments = segment_attributes(ORDER, table.schema, dub=10)
+        assert segments == [[0, 1, 2], [3, 4]]
+
+
+class TestSection41WeightAdjustment:
+    """Section 4.1.1: a historic drill down through q1 hitting q4 with
+    p(q1) = 1/2 and p(q4) = 1/4 estimates |D_q1| = 1 * (1/2)/(1/4) = 2."""
+
+    def test_eq6_subtree_estimate(self):
+        store = WeightStore()
+        root = frozenset()
+        q1 = frozenset({(0, 1)})
+        # Walk: root --(A1=1, p=1/2)--> q1 --(..., p=1/2)--> q4 (|q|=1).
+        steps = [
+            WalkStep(node_key=root, attr=0, fanout=2, value=1, probability=0.5),
+            WalkStep(node_key=q1, attr=1, fanout=2, value=1, probability=0.5),
+        ]
+        store.record_walk(steps, terminal_mass=1.0)
+        # The A1=1 branch of the root is credited 1/(1/2) = 2.
+        assert store.lookup(root, 0).mass_sum[1] == pytest.approx(2.0)
+        # The optimal alignment of Figure 1: branches (4/6, 2/6).
+        # After this single pilot the store's estimate for branch 1 is 2.
+        assert store.lookup(root, 0).estimated_masses()[1] == pytest.approx(2.0)
+
+
+class TestBruteForceComparison:
+    """Section 3.3.1: drill downs need at most n queries per estimate while
+    BRUTE-FORCE needs ~|Dom|/m."""
+
+    def test_drill_down_cost_bounded(self, table):
+        from repro.core import BoolUnbiasedSize
+
+        for seed in range(10):
+            client = HiddenDBClient(TopKInterface(table, 1), cache=False)
+            est = BoolUnbiasedSize(client, seed=seed, attribute_order=ORDER)
+            round_est = est.run_once()
+            # 5 attributes, fanouts (2,2,2,2,5): the walk plus probes stays
+            # within ~2 queries per Boolean level + w for the categorical.
+            assert round_est.cost <= 2 * 4 + 5 + 1

@@ -1,0 +1,103 @@
+"""Unit tests for attribute ordering and D_UB segmentation."""
+
+import pytest
+
+from repro.core.partition import (
+    free_attribute_order,
+    segment_attributes,
+    segment_domain_size,
+)
+from repro.datasets import running_example, yahoo_auto_schema
+from repro.hidden_db import Attribute, ConjunctiveQuery, Schema
+
+
+def schema_22225():
+    """Domains (2,2,2,2,5) — the paper's Section 4.2.2 worked example."""
+    return running_example().schema
+
+
+class TestFreeAttributeOrder:
+    def test_decreasing_fanout_default(self):
+        order = free_attribute_order(schema_22225())
+        assert order[0] == 4  # A5 has the largest fanout
+        assert set(order) == {0, 1, 2, 3, 4}
+
+    def test_condition_removes_attributes(self):
+        cond = ConjunctiveQuery().extended(4, 0).extended(0, 1)
+        order = free_attribute_order(schema_22225(), cond)
+        assert set(order) == {1, 2, 3}
+
+    def test_explicit_order(self):
+        order = free_attribute_order(schema_22225(), None, [3, 1, 0, 2, 4])
+        assert order == [3, 1, 0, 2, 4]
+
+    def test_explicit_order_with_condition(self):
+        cond = ConjunctiveQuery().extended(3, 0)
+        order = free_attribute_order(schema_22225(), cond, [3, 1, 0, 2, 4])
+        assert order == [1, 0, 2, 4]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            free_attribute_order(schema_22225(), None, [0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            free_attribute_order(schema_22225(), None, [0, 9])
+
+    def test_yahoo_order_puts_make_model_first(self):
+        schema = yahoo_auto_schema()
+        order = free_attribute_order(schema)
+        assert order[0] == schema.index_of("MAKE")
+        assert order[1] == schema.index_of("MODEL")
+
+
+class TestSegmentation:
+    def test_paper_example_dub_10(self):
+        # Section 4.2.2: domains (2,2,2,2,5), DUB=10 ->
+        # segments (A1,A2,A3) with |Dom|=8 and (A4,A5) with |Dom|=10.
+        schema = schema_22225()
+        segments = segment_attributes([0, 1, 2, 3, 4], schema, dub=10)
+        assert segments == [[0, 1, 2], [3, 4]]
+        assert segment_domain_size(segments[0], schema) == 8
+        assert segment_domain_size(segments[1], schema) == 10
+
+    def test_dub_none_disables_partitioning(self):
+        schema = schema_22225()
+        assert segment_attributes([0, 1, 2, 3, 4], schema, None) == [[0, 1, 2, 3, 4]]
+
+    def test_dub_larger_than_domain_gives_single_segment(self):
+        schema = schema_22225()
+        assert segment_attributes([0, 1, 2, 3, 4], schema, 10**6) == [[0, 1, 2, 3, 4]]
+
+    def test_boolean_dub_32_gives_five_level_segments(self):
+        schema = Schema([Attribute(f"A{i}", 2) for i in range(12)])
+        segments = segment_attributes(list(range(12)), schema, 32)
+        assert [len(s) for s in segments] == [5, 5, 2]
+
+    def test_every_attribute_in_exactly_one_segment(self):
+        schema = yahoo_auto_schema()
+        order = free_attribute_order(schema)
+        segments = segment_attributes(order, schema, 16)
+        flat = [a for seg in segments for a in seg]
+        assert flat == list(order)
+
+    def test_segment_sizes_respect_dub(self):
+        schema = yahoo_auto_schema()
+        order = free_attribute_order(schema)
+        for dub in (16, 64, 1024):
+            for segment in segment_attributes(order, schema, dub):
+                size = segment_domain_size(segment, schema)
+                assert size <= dub or len(segment) == 1
+
+    def test_oversized_single_attribute_gets_own_segment(self):
+        schema = Schema([Attribute("BIG", 100), Attribute("A", 2)])
+        segments = segment_attributes([0, 1], schema, dub=10)
+        assert segments == [[0], [1]]
+
+    def test_rejects_empty_order(self):
+        with pytest.raises(ValueError):
+            segment_attributes([], schema_22225(), 10)
+
+    def test_rejects_tiny_dub(self):
+        with pytest.raises(ValueError):
+            segment_attributes([0], schema_22225(), 1)

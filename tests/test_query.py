@@ -1,0 +1,110 @@
+"""Unit tests for the conjunctive query model."""
+
+import pytest
+
+from repro.hidden_db import Attribute, ConjunctiveQuery, InvalidQueryError, Schema
+
+
+class TestConstruction:
+    def test_root(self):
+        q = ConjunctiveQuery()
+        assert q.is_root
+        assert q.num_predicates == 0
+
+    def test_extended_preserves_insertion_order(self):
+        q = ConjunctiveQuery().extended(3, 1).extended(0, 2)
+        assert q.predicates == ((3, 1), (0, 2))
+
+    def test_equality_ignores_order(self):
+        a = ConjunctiveQuery().extended(3, 1).extended(0, 2)
+        b = ConjunctiveQuery().extended(0, 2).extended(3, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_duplicate_identical_predicate_collapses(self):
+        q = ConjunctiveQuery(((1, 2), (1, 2)))
+        assert q.num_predicates == 1
+
+    def test_conflicting_predicates_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            ConjunctiveQuery(((1, 2), (1, 3)))
+        with pytest.raises(InvalidQueryError):
+            ConjunctiveQuery().extended(1, 2).extended(1, 3)
+
+    def test_re_extending_same_value_allowed(self):
+        q = ConjunctiveQuery().extended(1, 2).extended(1, 2)
+        assert q.num_predicates == 1
+
+
+class TestNavigation:
+    def test_parent(self):
+        q = ConjunctiveQuery().extended(0, 1).extended(2, 0)
+        assert q.parent() == ConjunctiveQuery().extended(0, 1)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(InvalidQueryError):
+            ConjunctiveQuery().parent()
+
+    def test_sibling(self):
+        q = ConjunctiveQuery().extended(0, 1).extended(2, 0)
+        sib = q.with_sibling_value(2, 4)
+        assert sib.value_of(2) == 4
+        assert sib.value_of(0) == 1
+
+    def test_sibling_requires_last_predicate(self):
+        q = ConjunctiveQuery().extended(0, 1).extended(2, 0)
+        with pytest.raises(InvalidQueryError):
+            q.with_sibling_value(0, 0)
+
+
+class TestInspection:
+    def test_constrains_and_value_of(self):
+        q = ConjunctiveQuery().extended(5, 3)
+        assert q.constrains(5)
+        assert not q.constrains(4)
+        assert q.value_of(5) == 3
+        with pytest.raises(InvalidQueryError):
+            q.value_of(4)
+
+    def test_constrained_attributes(self):
+        q = ConjunctiveQuery().extended(5, 3).extended(1, 0)
+        assert q.constrained_attributes() == (5, 1)
+
+    def test_contains_tuple(self):
+        q = ConjunctiveQuery().extended(0, 1).extended(2, 0)
+        assert q.contains_tuple((1, 9, 0))
+        assert not q.contains_tuple((1, 9, 1))
+        assert ConjunctiveQuery().contains_tuple((0, 0, 0))
+
+    def test_len(self):
+        assert len(ConjunctiveQuery().extended(0, 1)) == 1
+
+
+class TestRendering:
+    def _schema(self):
+        return Schema([Attribute("MAKE", 3, labels=("Toyota", "Ford", "BMW")),
+                       Attribute("AC", 2)])
+
+    def test_to_sql_root(self):
+        assert ConjunctiveQuery().to_sql() == "SELECT * FROM D"
+
+    def test_to_sql_without_schema(self):
+        q = ConjunctiveQuery().extended(1, 0).extended(0, 2)
+        assert q.to_sql() == "SELECT * FROM D WHERE A0 = 2 AND A1 = 0"
+
+    def test_to_sql_with_schema_labels(self):
+        q = ConjunctiveQuery().extended(0, 2).extended(1, 1)
+        sql = q.to_sql(self._schema())
+        assert "MAKE = 'BMW'" in sql and "AC = '1'" in sql
+
+    def test_validate_against_schema(self):
+        schema = self._schema()
+        ConjunctiveQuery().extended(0, 2).validate(schema)
+        with pytest.raises(InvalidQueryError):
+            ConjunctiveQuery().extended(0, 3).validate(schema)
+        with pytest.raises(InvalidQueryError):
+            ConjunctiveQuery().extended(9, 0).validate(schema)
+
+    def test_repr(self):
+        assert "A0=1" in repr(ConjunctiveQuery().extended(0, 1))
+        assert "TRUE" in repr(ConjunctiveQuery())

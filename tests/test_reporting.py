@@ -1,0 +1,85 @@
+"""Unit tests for result persistence and rendering."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.reporting import (
+    load_result,
+    load_results,
+    save_result,
+    save_results,
+    to_markdown,
+)
+
+
+@pytest.fixture()
+def result():
+    return FigureResult(
+        figure_id="figX",
+        title="demo figure",
+        columns=["cost", "mse"],
+        rows=[(100, 1.5), (200, 0.5)],
+        notes="a note",
+        meta={"seed": 1},
+    )
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, result, tmp_path):
+        path = save_result(result, tmp_path)
+        assert path.name == "figX.json"
+        loaded = load_result(path)
+        assert loaded.figure_id == result.figure_id
+        assert loaded.columns == result.columns
+        assert [tuple(r) for r in loaded.rows] == result.rows
+        assert loaded.notes == result.notes
+        assert loaded.meta == result.meta
+
+    def test_save_creates_directory(self, result, tmp_path):
+        nested = tmp_path / "a" / "b"
+        path = save_result(result, nested)
+        assert path.exists()
+
+    def test_json_is_valid(self, result, tmp_path):
+        path = save_result(result, tmp_path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["figure_id"] == "figX"
+
+    def test_batch_roundtrip(self, result, tmp_path):
+        other = FigureResult("figY", "other", ["a"], [(1,)])
+        paths = save_results([result, other], tmp_path)
+        assert len(paths) == 2
+        loaded = load_results(tmp_path)
+        assert set(loaded) == {"figX", "figY"}
+
+    def test_load_results_empty_dir(self, tmp_path):
+        assert load_results(tmp_path) == {}
+
+
+class TestMarkdown:
+    def test_table_structure(self, result):
+        md = to_markdown(result)
+        lines = md.splitlines()
+        assert lines[0].startswith("### figX")
+        assert "| cost | mse |" in md
+        assert "| 100 | 1.5 |" in md
+        assert md.rstrip().endswith("*a note*")
+
+    def test_without_notes(self):
+        result = FigureResult("f", "t", ["x"], [(1,)])
+        md = to_markdown(result)
+        assert "*" not in md.splitlines()[-1]
+
+
+class TestEndToEnd:
+    def test_real_figure_roundtrip(self, tmp_path):
+        from repro.experiments.figures import run_fig18
+
+        result = run_fig18(scale="tiny", seed=6)
+        path = save_result(result, tmp_path)
+        loaded = load_result(path)
+        assert loaded.column("true_count") == result.column("true_count")
+        assert "fig18" in to_markdown(loaded)

@@ -1,0 +1,83 @@
+"""Unit tests for adaptive-precision sessions (run_until)."""
+
+import pytest
+
+from repro.core import HDUnbiasedSize
+from repro.datasets import boolean_table
+from repro.hidden_db import HiddenDBClient, QueryCounter, TopKInterface
+
+
+def client_for(table, k=10, limit=None):
+    return HiddenDBClient(TopKInterface(table, k, counter=QueryCounter(limit=limit)))
+
+
+@pytest.fixture(scope="module")
+def table():
+    return boolean_table(1_000, [0.5] * 12, seed=71)
+
+
+class TestRunUntil:
+    def test_stops_when_precise_enough(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=3, dub=16, seed=1)
+        result = estimator.run_until(target_relative_halfwidth=0.10)
+        z_half = 1.96 * result.std_error
+        assert z_half <= 0.10 * abs(result.mean) * 1.0001
+        assert result.rounds >= 5
+
+    def test_tighter_target_needs_more_rounds(self, table):
+        loose = HDUnbiasedSize(client_for(table), r=3, dub=16, seed=2)
+        tight = HDUnbiasedSize(client_for(table), r=3, dub=16, seed=2)
+        loose_result = loose.run_until(0.25, max_rounds=400)
+        tight_result = tight.run_until(0.05, max_rounds=400)
+        assert tight_result.rounds >= loose_result.rounds
+
+    def test_max_rounds_cap(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=3)
+        result = estimator.run_until(1e-9, max_rounds=7)
+        assert result.rounds == 7
+
+    def test_budget_cap(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=4)
+        result = estimator.run_until(1e-9, max_rounds=10_000, query_budget=80)
+        assert result.total_cost >= 80 or result.rounds >= 1
+
+    def test_result_is_accurate(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=3, dub=16, seed=5)
+        result = estimator.run_until(0.10)
+        assert result.mean == pytest.approx(1_000, rel=0.3)
+
+    def test_validation(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=6)
+        with pytest.raises(ValueError):
+            estimator.run_until(0.0)
+        with pytest.raises(ValueError):
+            estimator.run_until(0.1, min_rounds=1)
+
+    def test_hard_limit_mid_session(self, table):
+        estimator = HDUnbiasedSize(
+            client_for(table, limit=60), r=2, dub=16, seed=7
+        )
+        result = estimator.run_until(1e-9, max_rounds=10_000)
+        assert result.rounds >= 1
+        assert result.total_cost <= 60
+
+
+class TestPartialCrawl:
+    def test_partial_crawl_lower_bound(self, table):
+        from repro.hidden_db import crawl
+
+        client = client_for(table)
+        partial = crawl(client, max_queries=40, budget_action="partial")
+        assert not partial.complete
+        assert 0 <= partial.size < 1_000
+
+        full = crawl(client_for(table))
+        assert full.complete
+        assert full.size == 1_000
+        assert partial.size <= full.size
+
+    def test_unknown_budget_action(self, table):
+        from repro.hidden_db import crawl
+
+        with pytest.raises(ValueError):
+            crawl(client_for(table), max_queries=10, budget_action="explode")

@@ -1,0 +1,109 @@
+"""Unit tests for attributes and schemas."""
+
+import pytest
+
+from repro.hidden_db import Attribute, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_basic(self):
+        a = Attribute("COLOR", 3, labels=("red", "green", "blue"))
+        assert a.domain_size == 3
+        assert not a.is_boolean
+        assert a.label_of(1) == "green"
+        assert a.value_of("blue") == 2
+
+    def test_boolean(self):
+        assert Attribute("AC", 2).is_boolean
+
+    def test_label_fallback_without_labels(self):
+        assert Attribute("X", 4).label_of(3) == "3"
+
+    def test_value_of_without_labels_raises(self):
+        with pytest.raises(SchemaError):
+            Attribute("X", 4).value_of("3")
+
+    def test_unknown_label(self):
+        a = Attribute("COLOR", 2, labels=("red", "blue"))
+        with pytest.raises(SchemaError):
+            a.value_of("green")
+
+    def test_rejects_domain_below_two(self):
+        with pytest.raises(SchemaError):
+            Attribute("X", 1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", 2)
+
+    def test_rejects_label_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            Attribute("X", 3, labels=("a", "b"))
+
+    def test_validate_value_bounds(self):
+        a = Attribute("X", 3)
+        a.validate_value(0)
+        a.validate_value(2)
+        with pytest.raises(SchemaError):
+            a.validate_value(3)
+        with pytest.raises(SchemaError):
+            a.validate_value(-1)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [Attribute("A", 2), Attribute("B", 5), Attribute("C", 3)],
+            measure_names=("PRICE",),
+        )
+
+    def test_lookup(self):
+        s = self._schema()
+        assert len(s) == 3
+        assert s.index_of("B") == 1
+        assert s.attribute("C").domain_size == 3
+        assert s[0].name == "A"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            self._schema().index_of("Z")
+
+    def test_domain_size_full_and_partial(self):
+        s = self._schema()
+        assert s.domain_size() == 2 * 5 * 3
+        assert s.domain_size([1, 2]) == 15
+        assert s.domain_size([]) == 1
+
+    def test_fanouts(self):
+        assert self._schema().fanouts() == (2, 5, 3)
+
+    def test_decreasing_fanout_order(self):
+        s = self._schema()
+        assert s.decreasing_fanout_order() == (1, 2, 0)
+
+    def test_decreasing_fanout_order_is_stable_on_ties(self):
+        s = Schema([Attribute("A", 2), Attribute("B", 2), Attribute("C", 2)])
+        assert s.decreasing_fanout_order() == (0, 1, 2)
+
+    def test_rejects_duplicate_attribute_names(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("A", 2), Attribute("A", 3)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_attribute_measure_collision(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("A", 2)], measure_names=("A",))
+
+    def test_rejects_duplicate_measures(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("A", 2)], measure_names=("P", "P"))
+
+    def test_iteration(self):
+        names = [a.name for a in self._schema()]
+        assert names == ["A", "B", "C"]
+
+    def test_repr_mentions_attributes(self):
+        assert "B(5)" in repr(self._schema())

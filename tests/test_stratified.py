@@ -1,0 +1,100 @@
+"""Unit tests for the stratified estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import StratifiedEstimator
+from repro.datasets import yahoo_auto
+from repro.hidden_db import (
+    HiddenDBClient,
+    OnlineFormSimulator,
+    TopKInterface,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return yahoo_auto(m=3_000, seed=61)
+
+
+def plain_client(table, k=50):
+    return HiddenDBClient(TopKInterface(table, k))
+
+
+class TestStratified:
+    def test_total_approximates_size(self, table):
+        estimator = StratifiedEstimator(
+            plain_client(table), stratify_by="MAKE",
+            rounds_per_stratum=4, r=3, dub=32, seed=1,
+        )
+        result = estimator.run()
+        assert result.total == pytest.approx(3_000, rel=0.3)
+        assert len(result.strata) == 16
+
+    def test_stratum_lookup_by_label(self, table):
+        estimator = StratifiedEstimator(
+            plain_client(table), stratify_by="MAKE",
+            rounds_per_stratum=2, r=2, dub=32, seed=2,
+        )
+        result = estimator.run()
+        toyota = result.stratum("Toyota")
+        assert toyota.estimate >= 0
+        with pytest.raises(KeyError):
+            result.stratum("DeLorean")
+
+    def test_per_stratum_estimates_match_ground_truth(self, table):
+        # The biggest stratum should be estimated within a loose factor.
+        make_counts = np.bincount(table.data[:, 0], minlength=16)
+        biggest = int(make_counts.argmax())
+        estimator = StratifiedEstimator(
+            plain_client(table), stratify_by="MAKE",
+            rounds_per_stratum=6, r=3, dub=32, seed=3,
+        )
+        result = estimator.run()
+        stratum = next(s for s in result.strata if s.value == biggest)
+        assert stratum.estimate == pytest.approx(
+            make_counts[biggest], rel=0.5
+        )
+
+    def test_works_through_required_attribute_form(self, table):
+        # The whole point: the online form rejects unconditioned queries,
+        # but stratifying on the required attribute satisfies it.
+        schema = table.schema
+        simulator = OnlineFormSimulator(
+            TopKInterface(table, 50),
+            required_attributes=(schema.index_of("MAKE"),),
+            daily_limit=None,
+        )
+        client = HiddenDBClient(simulator)
+        estimator = StratifiedEstimator(
+            client, stratify_by="MAKE", rounds_per_stratum=3,
+            r=3, dub=32, seed=4,
+        )
+        result = estimator.run()
+        assert result.total == pytest.approx(3_000, rel=0.35)
+
+    def test_sum_aggregate(self, table):
+        truth = float(table.measure("PRICE").sum())
+        estimator = StratifiedEstimator(
+            plain_client(table), stratify_by="MAKE", aggregate="sum",
+            measure="PRICE", rounds_per_stratum=4, r=3, dub=32, seed=5,
+        )
+        result = estimator.run()
+        assert result.total == pytest.approx(truth, rel=0.35)
+
+    def test_cost_accounting(self, table):
+        client = plain_client(table)
+        estimator = StratifiedEstimator(
+            client, stratify_by="FUEL_TYPE", rounds_per_stratum=2,
+            r=2, dub=32, seed=6,
+        )
+        result = estimator.run()
+        assert result.total_cost == client.cost
+        assert result.total_cost == sum(s.cost for s in result.strata)
+
+    def test_validation(self, table):
+        with pytest.raises(ValueError):
+            StratifiedEstimator(
+                plain_client(table), stratify_by="MAKE",
+                rounds_per_stratum=0,
+            )

@@ -1,0 +1,159 @@
+"""Unit tests for the numpy-backed hidden table."""
+
+import pytest
+
+from repro.hidden_db import (
+    Attribute,
+    ConjunctiveQuery,
+    HiddenTable,
+    Schema,
+    SchemaError,
+)
+
+
+def small_schema():
+    return Schema(
+        [Attribute("A", 2), Attribute("B", 3)], measure_names=("PRICE",)
+    )
+
+
+def small_table(**kwargs):
+    rows = [
+        [0, 0],
+        [0, 1],
+        [0, 2],
+        [1, 0],
+        [1, 2],
+    ]
+    return HiddenTable.from_rows(
+        small_schema(), rows, measures={"PRICE": [10, 20, 30, 40, 50]}, **kwargs
+    )
+
+
+class TestConstruction:
+    def test_shape_and_counts(self):
+        t = small_table()
+        assert t.num_tuples == 5
+        assert t.num_attributes == 2
+
+    def test_rejects_out_of_domain_values(self):
+        with pytest.raises(SchemaError):
+            HiddenTable.from_rows(small_schema(), [[0, 3]], measures={"PRICE": [1]})
+
+    def test_rejects_wrong_column_count(self):
+        with pytest.raises(SchemaError):
+            HiddenTable.from_rows(small_schema(), [[0, 0, 0]], measures={"PRICE": [1]})
+
+    def test_rejects_missing_measure(self):
+        with pytest.raises(SchemaError):
+            HiddenTable.from_rows(small_schema(), [[0, 0]])
+
+    def test_rejects_extra_measure(self):
+        schema = Schema([Attribute("A", 2)])
+        with pytest.raises(SchemaError):
+            HiddenTable.from_rows(schema, [[0]], measures={"X": [1.0]})
+
+    def test_rejects_measure_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            HiddenTable.from_rows(
+                small_schema(), [[0, 0]], measures={"PRICE": [1.0, 2.0]}
+            )
+
+    def test_duplicate_detection(self):
+        schema = Schema([Attribute("A", 2)])
+        with pytest.raises(SchemaError):
+            HiddenTable.from_rows(schema, [[0], [0]], check_duplicates=True)
+
+    def test_empty_table(self):
+        schema = Schema([Attribute("A", 2)])
+        t = HiddenTable.from_rows(schema, [])
+        assert t.num_tuples == 0
+        assert t.count(ConjunctiveQuery()) == 0
+
+    def test_data_view_is_read_only(self):
+        t = small_table()
+        with pytest.raises(ValueError):
+            t.data[0, 0] = 1
+        with pytest.raises(ValueError):
+            t.measure("PRICE")[0] = 99.0
+
+
+class TestSelection:
+    def test_root_selects_everything(self):
+        t = small_table()
+        assert t.count(ConjunctiveQuery()) == 5
+
+    def test_single_predicate(self):
+        t = small_table()
+        assert t.count(ConjunctiveQuery().extended(0, 0)) == 3
+        assert t.count(ConjunctiveQuery().extended(1, 2)) == 2
+
+    def test_conjunction(self):
+        t = small_table()
+        q = ConjunctiveQuery().extended(0, 1).extended(1, 2)
+        assert t.count(q) == 1
+
+    def test_empty_selection(self):
+        t = small_table()
+        q = ConjunctiveQuery().extended(0, 1).extended(1, 1)
+        assert t.count(q) == 0
+
+    def test_selection_ids_sorted(self):
+        t = small_table()
+        ids = t.selection_ids(ConjunctiveQuery().extended(0, 1))
+        assert list(ids) == [3, 4]
+
+    def test_order_of_predicates_irrelevant(self):
+        t = small_table()
+        a = ConjunctiveQuery().extended(0, 1).extended(1, 2)
+        b = ConjunctiveQuery().extended(1, 2).extended(0, 1)
+        assert list(t.selection_ids(a)) == list(t.selection_ids(b))
+
+    def test_sum_measure(self):
+        t = small_table()
+        assert t.sum_measure(ConjunctiveQuery().extended(0, 0), "PRICE") == 60.0
+
+    def test_unknown_measure(self):
+        with pytest.raises(SchemaError):
+            small_table().measure("NOPE")
+
+    def test_row_access(self):
+        t = small_table()
+        assert t.row_values(3) == (1, 0)
+        assert t.row_measures(3) == {"PRICE": 40.0}
+
+
+class TestMemoisation:
+    def test_cache_hit_returns_same_array(self):
+        t = small_table()
+        q = ConjunctiveQuery().extended(0, 0)
+        first = t.selection_ids(q)
+        second = t.selection_ids(q)
+        assert first is second
+
+    def test_incremental_narrowing_caches_prefixes(self):
+        t = small_table()
+        q = ConjunctiveQuery().extended(0, 0).extended(1, 1)
+        t.selection_ids(q)
+        # The one-predicate prefix must now be cached.
+        prefix = ConjunctiveQuery().extended(0, 0)
+        assert t.selection_ids(prefix) is t.selection_ids(prefix)
+
+    def test_clear_cache(self):
+        t = small_table()
+        q = ConjunctiveQuery().extended(0, 0)
+        first = t.selection_ids(q)
+        t.clear_cache()
+        assert t.selection_ids(q) is not first
+        assert list(t.selection_ids(q)) == list(first)
+
+    def test_cache_eviction_keeps_correctness(self):
+        schema = Schema([Attribute("A", 2), Attribute("B", 2), Attribute("C", 2)])
+        rows = [[a, b, c] for a in range(2) for b in range(2) for c in range(2)]
+        t = HiddenTable.from_rows(schema, rows, max_cached_queries=4)
+        for a in range(2):
+            for b in range(2):
+                q = ConjunctiveQuery().extended(0, a).extended(1, b)
+                assert t.count(q) == 2
+        # After eviction pressure, results are still correct.
+        assert t.count(ConjunctiveQuery().extended(0, 0)) == 4

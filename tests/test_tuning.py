@@ -1,0 +1,77 @@
+"""Unit tests for the Section-5.1 parameter-selection utility."""
+
+import pytest
+
+from repro.core import suggest_parameters
+from repro.core.tuning import ParameterSuggestion
+from repro.datasets import boolean_table, yahoo_auto
+from repro.hidden_db import HiddenDBClient, QueryCounter, TopKInterface
+
+
+def client_for(table, k=20, limit=None):
+    return HiddenDBClient(TopKInterface(table, k, counter=QueryCounter(limit=limit)))
+
+
+@pytest.fixture(scope="module")
+def table():
+    return boolean_table(2_000, [0.5] * 16, seed=17)
+
+
+class TestSuggestParameters:
+    def test_returns_valid_suggestion(self, table):
+        suggestion = suggest_parameters(client_for(table), query_budget=400, seed=1)
+        assert isinstance(suggestion, ParameterSuggestion)
+        assert suggestion.dub >= 2
+        assert 2 <= suggestion.r <= 16
+        assert suggestion.pilot_cost > 0
+        assert suggestion.pilots
+
+    def test_pilot_measurements_well_formed(self, table):
+        suggestion = suggest_parameters(client_for(table), query_budget=400, seed=2)
+        for pilot in suggestion.pilots:
+            assert pilot.rounds >= 2
+            assert pilot.cost_per_round > 0
+            assert pilot.variance >= 0
+            assert pilot.score >= 0
+
+    def test_chosen_dub_has_minimal_score(self, table):
+        suggestion = suggest_parameters(client_for(table), query_budget=400, seed=3)
+        best = min(p.score for p in suggestion.pilots)
+        chosen = next(p for p in suggestion.pilots if p.dub == suggestion.dub)
+        assert chosen.score == best
+
+    def test_dub_at_least_max_fanout(self):
+        table = yahoo_auto(m=800, seed=4)
+        client = client_for(table, k=20)
+        suggestion = suggest_parameters(
+            client, query_budget=400, candidate_dubs=(2, 4), seed=5
+        )
+        # MAKE/MODEL have fanout 16: candidates are clipped up to it.
+        assert suggestion.dub >= 16
+
+    def test_larger_budget_allows_larger_r(self, table):
+        small = suggest_parameters(client_for(table), query_budget=150, seed=6)
+        large = suggest_parameters(client_for(table), query_budget=5_000, seed=6)
+        assert large.r >= small.r
+        assert large.expected_rounds >= small.expected_rounds
+
+    def test_budget_validation(self, table):
+        with pytest.raises(ValueError):
+            suggest_parameters(client_for(table), query_budget=1)
+
+    def test_impossible_budget_raises(self, table):
+        # A hard server limit of 2 queries cannot complete any pilot round.
+        client = client_for(table, limit=2)
+        with pytest.raises(ValueError):
+            suggest_parameters(client, query_budget=300, seed=7)
+
+    def test_suggestion_usable_end_to_end(self, table):
+        from repro.core import HDUnbiasedSize
+
+        client = client_for(table)
+        suggestion = suggest_parameters(client, query_budget=600, seed=8)
+        estimator = HDUnbiasedSize(
+            client, r=suggestion.r, dub=suggestion.dub, seed=9
+        )
+        result = estimator.run(query_budget=600 - suggestion.pilot_cost)
+        assert result.mean == pytest.approx(2_000, rel=0.5)

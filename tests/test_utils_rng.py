@@ -1,0 +1,42 @@
+"""Unit tests for the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_rng, spawn_rng
+
+
+def test_spawn_from_int_is_deterministic():
+    a = spawn_rng(42).random(5)
+    b = spawn_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_from_none_gives_fresh_entropy():
+    a = spawn_rng(None).random(5)
+    b = spawn_rng(None).random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_passes_generator_through():
+    gen = np.random.default_rng(1)
+    assert spawn_rng(gen) is gen
+
+
+def test_spawn_rejects_garbage():
+    with pytest.raises(TypeError):
+        spawn_rng("not a seed")
+
+
+def test_child_rng_independent_streams():
+    parent = spawn_rng(7)
+    c1 = child_rng(parent)
+    c2 = child_rng(parent)
+    assert not np.array_equal(c1.random(5), c2.random(5))
+
+
+def test_numpy_integer_seed_accepted():
+    seed = np.int64(123)
+    a = spawn_rng(seed).random(3)
+    b = spawn_rng(123).random(3)
+    assert np.array_equal(a, b)

@@ -1,0 +1,118 @@
+"""Unit tests for the streaming statistics utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    RunningStats,
+    StreamingMeanSeries,
+    mean_squared_error,
+    relative_error,
+    step_interpolate,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        rs = RunningStats()
+        assert rs.count == 0
+        assert math.isnan(rs.variance)
+        assert math.isnan(rs.std_error)
+
+    def test_single_value(self):
+        rs = RunningStats()
+        rs.add(5.0)
+        assert rs.mean == 5.0
+        assert math.isnan(rs.variance)
+
+    def test_mean_and_variance_match_numpy(self):
+        data = np.random.default_rng(0).normal(10, 3, size=257)
+        rs = RunningStats()
+        rs.extend(data)
+        assert rs.count == 257
+        assert rs.mean == pytest.approx(float(np.mean(data)))
+        assert rs.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert rs.population_variance == pytest.approx(float(np.var(data)))
+        assert rs.std == pytest.approx(float(np.std(data, ddof=1)))
+
+    def test_std_error(self):
+        rs = RunningStats()
+        rs.extend([1.0, 2.0, 3.0, 4.0])
+        expected = np.std([1, 2, 3, 4], ddof=1) / 2.0
+        assert rs.std_error == pytest.approx(float(expected))
+
+    def test_confidence_interval_contains_mean(self):
+        rs = RunningStats()
+        rs.extend([1.0, 2.0, 3.0])
+        low, high = rs.confidence_interval()
+        assert low < rs.mean < high
+
+    def test_confidence_interval_needs_two_points(self):
+        rs = RunningStats()
+        rs.add(1.0)
+        low, high = rs.confidence_interval()
+        assert math.isnan(low) and math.isnan(high)
+
+    def test_numerical_stability_large_offset(self):
+        rs = RunningStats()
+        rs.extend([1e12 + x for x in (1.0, 2.0, 3.0)])
+        assert rs.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestStreamingMeanSeries:
+    def test_append_and_read(self):
+        s = StreamingMeanSeries()
+        s.append(10, 100.0)
+        s.append(20, 150.0)
+        assert len(s) == 2
+        assert s.value_at(10) == 100.0
+        assert s.value_at(15) == 100.0
+        assert s.value_at(25) == 150.0
+
+    def test_before_first_point_is_nan(self):
+        s = StreamingMeanSeries()
+        s.append(10, 100.0)
+        assert math.isnan(s.value_at(5))
+
+    def test_rejects_decreasing_x(self):
+        s = StreamingMeanSeries()
+        s.append(10, 1.0)
+        with pytest.raises(ValueError):
+            s.append(5, 2.0)
+
+    def test_equal_x_allowed(self):
+        s = StreamingMeanSeries()
+        s.append(10, 1.0)
+        s.append(10, 2.0)
+        assert s.value_at(10) == 2.0  # last write wins
+
+
+class TestStepInterpolate:
+    def test_empty(self):
+        assert math.isnan(step_interpolate([], [], 5))
+
+    def test_exact_hits(self):
+        xs, vs = [1, 3, 5], [10.0, 30.0, 50.0]
+        assert step_interpolate(xs, vs, 3) == 30.0
+        assert step_interpolate(xs, vs, 4.99) == 30.0
+        assert step_interpolate(xs, vs, 100) == 50.0
+
+
+class TestErrorMetrics:
+    def test_mse(self):
+        assert mean_squared_error([9.0, 11.0], 10.0) == 1.0
+
+    def test_mse_ignores_nan(self):
+        assert mean_squared_error([9.0, float("nan"), 11.0], 10.0) == 1.0
+
+    def test_mse_all_nan(self):
+        assert math.isnan(mean_squared_error([float("nan")], 10.0))
+
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_truth(self):
+        assert math.isnan(relative_error(5.0, 0.0))

@@ -1,0 +1,110 @@
+"""Unit tests for weight adjustment (the pilot-history weight store)."""
+
+import numpy as np
+import pytest
+
+from repro.core.drilldown import WalkStep
+from repro.core.weights import UniformWeights, WeightStore
+
+
+KEY = frozenset()  # root node key
+
+
+class TestUniformWeights:
+    def test_distribution_is_uniform(self):
+        w = UniformWeights()
+        dist = w.branch_distribution(KEY, 0, 5)
+        assert np.allclose(dist, 0.2)
+
+    def test_recording_is_a_no_op(self):
+        w = UniformWeights()
+        w.mark_empty(KEY, 0, 5, 2)
+        w.add_mass(KEY, 0, 5, 1, 42.0)
+        w.record_walk([], 1.0)
+        assert np.allclose(w.branch_distribution(KEY, 0, 5), 0.2)
+
+
+class TestWeightStore:
+    def test_no_history_gives_uniform(self):
+        ws = WeightStore()
+        assert np.allclose(ws.branch_distribution(KEY, 0, 4), 0.25)
+
+    def test_known_empty_gets_zero_probability(self):
+        ws = WeightStore()
+        ws.mark_empty(KEY, 0, 4, 2)
+        dist = ws.branch_distribution(KEY, 0, 4)
+        assert dist[2] == 0.0
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_heavier_branch_gets_more_probability(self):
+        ws = WeightStore(smoothing=0.2)
+        ws.add_mass(KEY, 0, 2, 0, 90.0)
+        ws.add_mass(KEY, 0, 2, 1, 10.0)
+        dist = ws.branch_distribution(KEY, 0, 2)
+        assert dist[0] > dist[1]
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_unexplored_branch_gets_mean_of_explored(self):
+        ws = WeightStore(smoothing=0.0)
+        ws.add_mass(KEY, 0, 3, 0, 50.0)
+        ws.add_mass(KEY, 0, 3, 1, 50.0)
+        dist = ws.branch_distribution(KEY, 0, 3)
+        # Branch 2 unexplored: default weight = mean(50, 50) = 50 -> uniform.
+        assert np.allclose(dist, 1 / 3)
+
+    def test_smoothing_bounds_minimum_probability(self):
+        ws = WeightStore(smoothing=0.3)
+        ws.add_mass(KEY, 0, 2, 0, 1e9)
+        ws.add_mass(KEY, 0, 2, 1, 1.0)
+        dist = ws.branch_distribution(KEY, 0, 2)
+        # The light branch keeps at least smoothing/candidates probability.
+        assert dist[1] >= 0.3 / 2 - 1e-12
+
+    def test_estimates_average_over_visits(self):
+        ws = WeightStore()
+        ws.add_mass(KEY, 0, 2, 0, 10.0)
+        ws.add_mass(KEY, 0, 2, 0, 30.0)
+        rec = ws.lookup(KEY, 0)
+        assert rec.estimated_masses()[0] == pytest.approx(20.0)
+        assert np.isnan(rec.estimated_masses()[1])
+
+    def test_all_marked_empty_falls_back_to_uniform(self):
+        ws = WeightStore()
+        for value in range(3):
+            ws.mark_empty(KEY, 0, 3, value)
+        assert np.allclose(ws.branch_distribution(KEY, 0, 3), 1 / 3)
+
+    def test_record_walk_implements_eq6(self):
+        # A two-level walk with landing probs 0.5 then 0.25 reaching mass 3:
+        # the branch at depth 1 is credited 3/1, the branch at depth 0 is
+        # credited 3/0.25 = 12 (mass divided by the probability *below* it).
+        ws = WeightStore()
+        node0 = frozenset()
+        node1 = frozenset({(0, 1)})
+        steps = [
+            WalkStep(node_key=node0, attr=0, fanout=2, value=1, probability=0.5),
+            WalkStep(node_key=node1, attr=1, fanout=4, value=2, probability=0.25),
+        ]
+        ws.record_walk(steps, terminal_mass=3.0)
+        assert ws.lookup(node1, 1).mass_sum[2] == pytest.approx(3.0)
+        assert ws.lookup(node0, 0).mass_sum[1] == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightStore(smoothing=1.5)
+        with pytest.raises(ValueError):
+            WeightStore(mass_floor=0.0)
+
+    def test_len_counts_records(self):
+        ws = WeightStore()
+        assert len(ws) == 0
+        ws.add_mass(KEY, 0, 2, 0, 1.0)
+        ws.add_mass(KEY, 1, 2, 0, 1.0)
+        assert len(ws) == 2
+
+    def test_known_empty_mask(self):
+        ws = WeightStore()
+        assert not ws.known_empty_mask(KEY, 0, 3).any()
+        ws.mark_empty(KEY, 0, 3, 1)
+        mask = ws.known_empty_mask(KEY, 0, 3)
+        assert list(mask) == [False, True, False]

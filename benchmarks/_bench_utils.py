@@ -1,6 +1,22 @@
 """Shared helpers for the figure/table benchmarks."""
 
+import json
 import math
+import os
+
+
+def write_bench_json(name: str, payload: dict, directory: str = None) -> str:
+    """Write a ``BENCH_<name>.json`` result file and return its path.
+
+    *directory* defaults to ``REPRO_BENCH_DIR`` or the current working
+    directory, so CI can collect every benchmark artefact from one place.
+    """
+    directory = directory or os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def run_figure(benchmark, runner, scale_name: str, seed: int = 1):

@@ -1,0 +1,150 @@
+"""Backend + engine speedup benchmark (emits ``BENCH_backend.json``).
+
+Measures, on the paper's ``yahoo_auto(m=20_000)`` table:
+
+* **selection microbenchmark** — a fixed stream of random conjunctive
+  queries evaluated cold (caches cleared per query) by the ``scan`` and
+  ``bitmap`` backends, for both the id-materialising and the count-only
+  paths.  The acceptance bar is bitmap >= 5x scan on this raw-machinery
+  regime; the scan backend's warm (prefix-cached) timing is also recorded
+  because that is the regime drill downs actually live in.
+* **engine benchmark** — one HD-UNBIASED-SIZE session of fixed rounds run
+  through :class:`~repro.core.engine.ParallelSession` with 1 and N workers,
+  asserting the merged results are bit-identical.
+
+Runs standalone (``python benchmarks/bench_backend_speedup.py``) or under
+pytest; either way it writes ``BENCH_backend.json`` next to the CWD (or
+``REPRO_BENCH_DIR``) via the shared ``_bench_utils`` conventions.
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _bench_utils import write_bench_json
+
+from repro.core import HDUnbiasedSize
+from repro.datasets import yahoo_auto
+from repro.hidden_db import HiddenDBClient, TopKInterface
+from repro.hidden_db.query import ConjunctiveQuery
+from repro.utils.rng import spawn_rng
+
+M = 20_000
+NUM_QUERIES = 1_500
+ROUNDS = 30
+WORKERS = 4
+SPEEDUP_FLOOR = 5.0
+
+
+def _random_queries(schema, count, seed=123):
+    """A reproducible stream of 1-3-predicate conjunctions."""
+    rng = spawn_rng(seed)
+    queries = []
+    for _ in range(count):
+        depth = int(rng.integers(1, 4))
+        attrs = rng.choice(len(schema), size=depth, replace=False)
+        query = ConjunctiveQuery()
+        for attr in attrs:
+            value = int(rng.integers(0, schema[int(attr)].domain_size))
+            query = query.extended(int(attr), value)
+        queries.append(query)
+    return queries
+
+
+def _time_selection(fn, queries, clear=None):
+    start = time.perf_counter()
+    for query in queries:
+        if clear is not None:
+            clear()
+        fn(query)
+    return time.perf_counter() - start
+
+
+def _bench_selection(table):
+    """Cold/warm selection timings for both backends on one query stream."""
+    queries = _random_queries(table.schema, NUM_QUERIES)
+    scan = table.with_backend("scan").backend
+    bitmap = table.with_backend("bitmap").backend
+    timings = {
+        "scan_ids_cold_s": _time_selection(
+            scan.selection_ids, queries, clear=scan.clear_cache
+        ),
+        "bitmap_ids_cold_s": _time_selection(
+            bitmap.selection_ids, queries, clear=bitmap.clear_cache
+        ),
+        "bitmap_count_cold_s": _time_selection(
+            bitmap.selection_count, queries, clear=bitmap.clear_cache
+        ),
+    }
+    _time_selection(scan.selection_ids, queries)  # warm the prefix cache
+    timings["scan_ids_warm_s"] = _time_selection(scan.selection_ids, queries)
+    timings["speedup_ids"] = timings["scan_ids_cold_s"] / timings["bitmap_ids_cold_s"]
+    timings["speedup_count"] = (
+        timings["scan_ids_cold_s"] / timings["bitmap_count_cold_s"]
+    )
+    return timings
+
+
+def _run_parallel(table, workers, seed=11):
+    estimator = HDUnbiasedSize(
+        HiddenDBClient(TopKInterface(table, k=100)), seed=seed
+    )
+    session = estimator.parallel_session(workers, seed=77)
+    start = time.perf_counter()
+    result = session.run(rounds=ROUNDS)
+    return result, time.perf_counter() - start
+
+
+def _bench_engine(table):
+    """ParallelSession wall-clock at 1 vs N workers + bit-identity check."""
+    sequential, t_one = _run_parallel(table, workers=1)
+    parallel, t_many = _run_parallel(table, workers=WORKERS)
+    assert sequential.estimates == parallel.estimates, "worker-count dependence!"
+    assert sequential.total_cost == parallel.total_cost, "cost merge dependence!"
+    return {
+        "rounds": ROUNDS,
+        "workers": WORKERS,
+        "workers_1_s": t_one,
+        f"workers_{WORKERS}_s": t_many,
+        "parallel_speedup": t_one / t_many if t_many else float("nan"),
+        "total_cost": sequential.total_cost,
+        "bit_identical": True,
+    }
+
+
+def run(m=M):
+    table = yahoo_auto(m=m, seed=7)
+    selection = _bench_selection(table)
+    engine = _bench_engine(table)
+    payload = {
+        "dataset": f"yahoo_auto(m={m})",
+        "num_queries": NUM_QUERIES,
+        "selection": selection,
+        "engine": engine,
+    }
+    path = write_bench_json("backend", payload)
+    print(f"selection: scan cold {selection['scan_ids_cold_s']*1e3:.0f} ms, "
+          f"bitmap ids {selection['bitmap_ids_cold_s']*1e3:.0f} ms "
+          f"({selection['speedup_ids']:.1f}x), "
+          f"bitmap count {selection['bitmap_count_cold_s']*1e3:.0f} ms "
+          f"({selection['speedup_count']:.1f}x)")
+    print(f"engine: {ROUNDS} rounds, 1 worker {engine['workers_1_s']:.2f} s, "
+          f"{WORKERS} workers {engine[f'workers_{WORKERS}_s']:.2f} s "
+          f"(bit-identical: {engine['bit_identical']})")
+    print(f"wrote {path}")
+    return payload
+
+
+def test_backend_speedup():
+    """Bitmap must beat the cold scan by the acceptance factor."""
+    payload = run()
+    assert payload["selection"]["speedup_ids"] >= SPEEDUP_FLOOR
+    assert payload["engine"]["bit_identical"]
+
+
+if __name__ == "__main__":
+    payload = run()
+    ok = payload["selection"]["speedup_ids"] >= SPEEDUP_FLOOR
+    print(f"speedup floor {SPEEDUP_FLOOR}x: {'PASS' if ok else 'FAIL'}")
+    raise SystemExit(0 if ok else 1)

@@ -15,6 +15,13 @@ The public surface re-exports the pieces most users need::
 See :mod:`repro.datasets` for the paper's workloads, :mod:`repro.baselines`
 for the comparison estimators, :mod:`repro.analysis` for the theoretical
 results and :mod:`repro.experiments` for the figure/table harness.
+
+Architecture: selections are served by pluggable backends
+(:mod:`repro.hidden_db.backends` — ``"scan"`` row narrowing or ``"bitmap"``
+vectorised masks) and estimator rounds can be fanned out over a worker pool
+(:class:`repro.core.engine.ParallelSession`).  ``ARCHITECTURE.md`` at the
+repository root documents the interface → backend → engine layering and how
+to add a new backend.
 """
 
 from repro.core import (
@@ -22,6 +29,7 @@ from repro.core import (
     EstimationResult,
     HDUnbiasedAgg,
     HDUnbiasedSize,
+    ParallelSession,
     RoundEstimate,
 )
 from repro.hidden_db import (
@@ -43,6 +51,7 @@ __all__ = [
     "BoolUnbiasedSize",
     "EstimationResult",
     "RoundEstimate",
+    "ParallelSession",
     "Attribute",
     "Schema",
     "ConjunctiveQuery",

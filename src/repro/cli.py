@@ -20,6 +20,7 @@ from repro.core.estimators import HDUnbiasedSize
 from repro.datasets import bool_iid, bool_mixed, yahoo_auto
 from repro.experiments.config import SCALES, default_scale_name
 from repro.experiments.figures import FIGURE_RUNNERS
+from repro.hidden_db.backends import available_backends
 from repro.hidden_db.counters import HiddenDBClient
 from repro.hidden_db.interface import TopKInterface
 
@@ -55,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--r", type=int, default=4)
     est.add_argument("--dub", type=int, default=32)
     est.add_argument("--seed", type=int, default=0)
+    est.add_argument("--backend", choices=sorted(available_backends()),
+                     default="scan",
+                     help="selection backend serving the simulated form")
+    est.add_argument("--workers", type=int, default=1,
+                     help="fan rounds out over N workers (ParallelSession; "
+                          "results are worker-count independent)")
 
     tune = sub.add_parser(
         "tune", help="suggest (r, D_UB) for a budget (Section 5.1 pilots)"
@@ -91,17 +98,22 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_estimate(args) -> int:
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
     maker = makers[args.dataset]
     table = maker(m=args.m, seed=args.seed) if args.dataset == "yahoo" else maker(
         m=args.m, seed=args.seed
     )
+    table = table.with_backend(args.backend)
     client = HiddenDBClient(TopKInterface(table, args.k))
     estimator = HDUnbiasedSize(
         client, r=args.r, dub=args.dub, seed=args.seed
     )
-    result = estimator.run(rounds=args.rounds)
-    print(f"dataset={args.dataset} m={table.num_tuples} k={args.k}")
+    result = estimator.run(rounds=args.rounds, workers=args.workers)
+    print(f"dataset={args.dataset} m={table.num_tuples} k={args.k} "
+          f"backend={table.backend_name} workers={args.workers}")
     print(f"estimate={result.mean:,.1f}  ci95=({result.ci95[0]:,.1f}, "
           f"{result.ci95[1]:,.1f})  queries={result.total_cost}  "
           f"rounds={result.rounds}")

@@ -9,6 +9,7 @@
 
 from repro.core.divide_conquer import MassFunction, TreeEstimate, estimate_tree
 from repro.core.drilldown import Walker, WalkKind, WalkOutcome, WalkStep
+from repro.core.engine import ParallelSession, merge_rounds
 from repro.core.estimators import (
     BoolUnbiasedSize,
     EstimationResult,
@@ -44,6 +45,8 @@ __all__ = [
     "WalkKind",
     "WalkOutcome",
     "WalkStep",
+    "ParallelSession",
+    "merge_rounds",
     "WeightStore",
     "UniformWeights",
     "OracleWeights",

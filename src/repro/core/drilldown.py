@@ -182,7 +182,9 @@ class Walker:
                     probability=1.0,  # both branches lead here
                     valid=False,
                 )
-            result = self.client.query(query)
+            # count_only: probes only classify the page; a landed page's
+            # tuples stay lazy and materialise if a mass function reads them.
+            result = self.client.query(query, count_only=True)
             if not result.underflow:
                 break
             self.weights.mark_empty(node.key, attr, fanout, value)
@@ -208,7 +210,7 @@ class Walker:
         probability = float(dist[value])
         pred = (value - 1) % fanout
         while pred != value:
-            pred_result = self.client.query(node.extended(attr, pred))
+            pred_result = self.client.query(node.extended(attr, pred), count_only=True)
             if not pred_result.underflow:
                 break
             self.weights.mark_empty(node.key, attr, fanout, pred)

@@ -1,0 +1,200 @@
+"""Parallel round-execution engine.
+
+The HD-UNBIASED estimators average i.i.d. rounds, and rounds touch nothing
+but their own client and RNG — they are embarrassingly parallel.
+:class:`ParallelSession` fans rounds out over a thread (or process) pool
+and merges the per-round :class:`~repro.core.estimators.RoundEstimate`\\ s
+and query-cost accounting back into one
+:class:`~repro.core.estimators.EstimationResult`.
+
+Determinism contract
+--------------------
+Results are **bit-identical for a fixed seed regardless of worker count**.
+Three ingredients make that hold:
+
+* every round gets its own RNG stream, derived *up front* from the session
+  seed in round order (worker scheduling can then never influence a pick);
+* every round runs against a fresh client (own result cache, own counter)
+  over the shared read-only table, so a round's query cost depends only on
+  its own walk, never on which worker ran it or what ran before it;
+* merging happens in round-index order after all workers finish.
+
+The price of that contract is that parallel rounds cannot share a result
+cache or pilot weight history the way a sequential session does — each
+round re-pays its cache misses.  Parallel sessions therefore trade query
+cost for wall-clock speed; the estimates themselves stay unbiased (rounds
+are i.i.d. by construction).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.stats import RunningStats, StreamingMeanSeries
+
+__all__ = ["ParallelSession", "merge_rounds"]
+
+#: Builds a fresh estimator (with its own client) from an integer seed.
+EstimatorFactory = Callable[[int], "object"]
+
+
+def _run_round(factory: EstimatorFactory, seed: int):
+    """Worker body: one estimator, one round, one cache report.
+
+    Module-level so process pools can pickle it (the factory itself must
+    then be picklable too — e.g. a ``functools.partial`` over module-level
+    functions; thread pools accept any callable).
+    """
+    estimator = factory(seed)
+    round_estimate = estimator.run_once()
+    client = getattr(estimator, "client", None)
+    stats = client.report() if hasattr(client, "report") else {}
+    return round_estimate, stats
+
+
+def merge_rounds(
+    per_round: List["object"],
+    statistic: Callable[[np.ndarray], float],
+    dims: int,
+) -> "object":
+    """Fold ordered RoundEstimates into one EstimationResult.
+
+    Reproduces exactly what a sequential session assembles: per-round
+    scalars, the running statistic against *cumulative* cost (rounds are
+    laid on the cost axis in round-index order), and the normal CI over the
+    scalars.
+    """
+    from repro.core.estimators import EstimationResult
+
+    if not per_round:
+        raise ValueError("cannot merge an empty round list")
+    vector_sum = np.zeros(dims)
+    scalars: List[float] = []
+    trajectory = StreamingMeanSeries()
+    cumulative_cost = 0
+    for i, round_estimate in enumerate(per_round):
+        vector_sum += round_estimate.values
+        scalars.append(statistic(round_estimate.values))
+        cumulative_cost += round_estimate.cost
+        trajectory.append(cumulative_cost, statistic(vector_sum / (i + 1)))
+    stats = RunningStats()
+    stats.extend(scalars)
+    return EstimationResult(
+        estimates=scalars,
+        mean=statistic(vector_sum / len(per_round)),
+        std_error=stats.std_error,
+        ci95=stats.confidence_interval(),
+        total_cost=cumulative_cost,
+        rounds=len(per_round),
+        trajectory=trajectory,
+        raw_rounds=list(per_round),
+    )
+
+
+@dataclass
+class ParallelSession:
+    """Runs estimator rounds concurrently and merges them deterministically.
+
+    Parameters
+    ----------
+    factory:
+        ``seed -> estimator``; must build a *fresh* estimator with its own
+        client/counter each call (rounds never share mutable state).  The
+        estimator only needs ``run_once()`` and ``_statistic`` /
+        ``_dims`` — i.e. any member of the HD-UNBIASED family.
+    workers:
+        Pool size.  ``workers=1`` still goes through the engine (same
+        per-round isolation), which is what the bit-identity guarantee is
+        measured against.
+    seed:
+        Session seed; round streams are derived from it in round order.
+    executor:
+        ``"thread"`` (default — numpy releases the GIL on the heavy ops and
+        rounds share the read-only table for free) or ``"process"``
+        (requires a picklable factory).
+    statistic:
+        Collapses a mass vector into the published scalar; defaults to the
+        factory product's ``_statistic``.
+
+    Example
+    -------
+    >>> session = ParallelSession(
+    ...     lambda seed: HDUnbiasedSize(
+    ...         HiddenDBClient(TopKInterface(table, k=100)), seed=seed),
+    ...     workers=4, seed=7)                        # doctest: +SKIP
+    >>> result = session.run(rounds=40)               # doctest: +SKIP
+    """
+
+    factory: EstimatorFactory
+    workers: int = 1
+    seed: RandomSource = None
+    executor: str = "thread"
+    statistic: Optional[Callable[[np.ndarray], float]] = None
+    #: Component-wise sum of every round-client's ``report()`` (merged
+    #: query-cost and cache accounting across workers).
+    client_stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+
+    def round_seeds(self, rounds: int) -> List[int]:
+        """The per-round RNG seeds, fixed by the session seed alone."""
+        master = spawn_rng(self.seed)
+        return [int(master.integers(0, 2**63 - 1)) for _ in range(rounds)]
+
+    def run(self, rounds: int) -> "object":
+        """Execute *rounds* independent rounds and merge them.
+
+        Returns the same :class:`~repro.core.estimators.EstimationResult` a
+        sequential session produces; ``client_stats`` on the session holds
+        the merged per-round cache/cost reports afterwards.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        seeds = self.round_seeds(rounds)
+        outcomes: List[Optional[Tuple]] = [None] * rounds
+        if self.workers == 1:
+            for i, seed in enumerate(seeds):
+                outcomes[i] = _run_round(self.factory, seed)
+        else:
+            pool_cls = (
+                ThreadPoolExecutor if self.executor == "thread"
+                else ProcessPoolExecutor
+            )
+            with pool_cls(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(_run_round, self.factory, seed): i
+                    for i, seed in enumerate(seeds)
+                }
+                for future, i in futures.items():
+                    outcomes[i] = future.result()
+        per_round = [outcome[0] for outcome in outcomes]
+        self.client_stats = _sum_reports([outcome[1] for outcome in outcomes])
+        statistic = self.statistic
+        dims = per_round[0].values.shape[0]
+        if statistic is None:
+            template = self.factory(0)
+            statistic = template._statistic
+        return merge_rounds(per_round, statistic, dims)
+
+
+def _sum_reports(reports: List[Dict[str, float]]) -> Dict[str, float]:
+    """Component-wise sum of client reports; hit_rate recomputed."""
+    merged: Dict[str, float] = {}
+    for report in reports:
+        for key, value in report.items():
+            merged[key] = merged.get(key, 0.0) + value
+    lookups = merged.get("cache_hits", 0.0) + merged.get("cache_misses", 0.0)
+    if "hit_rate" in merged:
+        merged["hit_rate"] = (merged.get("cache_hits", 0.0) / lookups) if lookups else 0.0
+    return merged

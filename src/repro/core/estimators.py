@@ -105,6 +105,20 @@ class EstimationResult:
         return stats.variance
 
 
+class _RoundFactory:
+    """Picklable ``seed -> fresh estimator`` factory for parallel rounds.
+
+    A module-level class (not a closure) so process-pool executors can
+    pickle it along with the template estimator it clones from.
+    """
+
+    def __init__(self, template: "_DrillDownEstimator") -> None:
+        self.template = template
+
+    def __call__(self, seed: int) -> "_DrillDownEstimator":
+        return self.template._spawn(self.template._clone_client(), seed)
+
+
 class _DrillDownEstimator:
     """Shared machinery of the HD-UNBIASED family.
 
@@ -147,6 +161,15 @@ class _DrillDownEstimator:
         self.rng = spawn_rng(seed)
         weights = WeightStore(smoothing=smoothing) if weight_adjustment else UniformWeights()
         self.walker = Walker(client, weights, self.rng)
+        # Recorded so parallel sessions can rebuild sibling estimators.
+        self._session_config = dict(
+            r=self.r,
+            dub=self.dub,
+            weight_adjustment=self.weight_adjustment,
+            condition=self.condition,
+            attribute_order=tuple(self.attribute_order),
+            smoothing=smoothing,
+        )
 
     # -- to be provided by subclasses ------------------------------------
 
@@ -156,6 +179,73 @@ class _DrillDownEstimator:
     def _statistic(self, values: np.ndarray) -> float:
         """Collapse a mass vector into the published scalar statistic."""
         return float(values[0])
+
+    # -- parallel-session support -----------------------------------------
+
+    def _clone_client(self) -> HiddenDBClient:
+        """A fresh client (own cache, own counter) over the same table.
+
+        Parallel rounds must not share mutable state; only the read-only
+        table (and its backend) is reused.  Wrapped interfaces (flaky /
+        online simulators) carry cross-query state and cannot be cloned.
+        """
+        from repro.hidden_db.interface import TopKInterface
+
+        interface = self.client.interface
+        if not isinstance(interface, TopKInterface):
+            raise ValueError(
+                f"cannot clone a client over {type(interface).__name__}; "
+                "parallel sessions need a plain TopKInterface"
+            )
+        if interface.counter.limit is not None:
+            # A hard server budget is shared session state: handing every
+            # round a fresh counter would multiply the quota by the round
+            # count, and a mid-round QueryLimitExceeded cannot stop a pool
+            # gracefully.  Budgeted sessions stay sequential.
+            raise ValueError(
+                "cannot parallelise over an interface with a hard query "
+                "limit; run sequentially (workers=1) to respect the budget"
+            )
+        from repro.hidden_db.counters import QueryCounter
+
+        fresh = TopKInterface(
+            interface.table,
+            interface.k,
+            ranking=interface.ranking,
+            counter=QueryCounter(),
+        )
+        return HiddenDBClient(
+            fresh,
+            cache=self.client._use_cache,
+            retries=self.client.retries,
+            max_cache_entries=self.client.max_cache_entries,
+        )
+
+    def _spawn(self, client: HiddenDBClient, seed: RandomSource) -> "_DrillDownEstimator":
+        """A sibling estimator on *client* with an independent RNG stream."""
+        return type(self)(client, seed=seed, **self._session_config)
+
+    def parallel_session(
+        self,
+        workers: int,
+        seed: RandomSource = None,
+        executor: str = "thread",
+    ):
+        """A :class:`~repro.core.engine.ParallelSession` over this setup.
+
+        Each round gets a fresh clone of this estimator (fresh client and
+        RNG stream) against the shared table; see the engine module for the
+        determinism contract.
+        """
+        from repro.core.engine import ParallelSession
+
+        return ParallelSession(
+            factory=_RoundFactory(self),
+            workers=workers,
+            seed=seed,
+            executor=executor,
+            statistic=self._statistic,
+        )
 
     # -- running ----------------------------------------------------------
 
@@ -191,6 +281,8 @@ class _DrillDownEstimator:
         rounds: Optional[int] = None,
         query_budget: Optional[int] = None,
         stall_rounds: int = 50,
+        workers: int = 1,
+        executor: str = "thread",
     ) -> EstimationResult:
         """Run rounds until a count or a query budget is reached.
 
@@ -203,9 +295,31 @@ class _DrillDownEstimator:
         free once the client has the walked subtrees cached; *stall_rounds*
         consecutive zero-cost rounds end the session (the estimate has
         extracted nearly everything the cache holds by then).
+
+        With ``workers > 1`` the rounds run on a
+        :class:`~repro.core.engine.ParallelSession`: every round gets its
+        own client and RNG stream, and the merged result is bit-identical
+        for a fixed estimator seed regardless of the worker count.  Parallel
+        rounds cannot share the sequential session's result cache or pilot
+        weights, so they trade extra queries for wall-clock speed; a round
+        count is required (budgets are inherently sequential).
         """
         if rounds is None and query_budget is None:
             raise ValueError("specify rounds and/or query_budget")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1:
+            if rounds is None or query_budget is not None:
+                raise ValueError(
+                    "parallel sessions need an explicit round count and no "
+                    "query budget; budgets are only enforceable sequentially"
+                )
+            session = self.parallel_session(
+                workers,
+                seed=int(self.rng.integers(0, 2**63 - 1)),
+                executor=executor,
+            )
+            return session.run(rounds)
         start_cost = self.client.cost
         vector_sum = np.zeros(self._dims)
         per_round: List[RoundEstimate] = []
@@ -352,6 +466,14 @@ class BoolUnbiasedSize(HDUnbiasedSize):
             seed=seed,
         )
 
+    def _spawn(self, client: HiddenDBClient, seed: RandomSource) -> "BoolUnbiasedSize":
+        return type(self)(
+            client,
+            condition=self.condition,
+            attribute_order=self._session_config["attribute_order"],
+            seed=seed,
+        )
+
 
 class HDUnbiasedAgg(_DrillDownEstimator):
     """HD-UNBIASED-AGG (Section 5.2): aggregate estimation.
@@ -393,6 +515,15 @@ class HDUnbiasedAgg(_DrillDownEstimator):
         # Align pilot weights with the aggregated mass (SUM for sum/avg).
         self._alignment_component = 0
         super().__init__(client, **kwargs)
+
+    def _spawn(self, client: HiddenDBClient, seed: RandomSource) -> "HDUnbiasedAgg":
+        return type(self)(
+            client,
+            aggregate=self.aggregate,
+            measure=self.measure,
+            seed=seed,
+            **self._session_config,
+        )
 
     def _mass(self, result: QueryResult) -> np.ndarray:
         if self.aggregate == "count":

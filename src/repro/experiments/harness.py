@@ -10,6 +10,7 @@ budgets and aggregates the error metrics.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -53,11 +54,22 @@ def collect_trajectories(
     factory: TrajectoryFactory,
     replications: int,
     base_seed: int,
+    workers: int = 1,
 ) -> List[StreamingMeanSeries]:
-    """Run *replications* independent sessions."""
+    """Run *replications* independent sessions.
+
+    Sessions are embarrassingly parallel — each builds its own client from a
+    seed fixed by its replication index — so with ``workers > 1`` they fan
+    out over a thread pool and the returned trajectories are identical to a
+    sequential run (same seeds, same order) regardless of the pool size.
+    """
     if replications < 1:
         raise ValueError("need at least one replication")
-    return [factory(base_seed + 7919 * i) for i in range(replications)]
+    seeds = [base_seed + 7919 * i for i in range(replications)]
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(factory, seeds))
+    return [factory(seed) for seed in seeds]
 
 
 def metrics_at_costs(
@@ -112,12 +124,17 @@ def hd_size_factory(
     weight_adjustment: bool = True,
     condition=None,
     attribute_order=None,
+    backend: Optional[str] = None,
 ) -> TrajectoryFactory:
     """Sessions of :class:`HDUnbiasedSize` (or its ablations) on *table*.
 
     Every session gets a fresh interface/client (no cross-session cache
-    leakage) and runs rounds until *budget* queries.
+    leakage) and runs rounds until *budget* queries.  *backend* optionally
+    re-serves the table through a different selection backend (e.g.
+    ``"bitmap"``) — estimator output is backend-independent.
     """
+    if backend is not None:
+        table = table.with_backend(backend)
 
     def factory(seed: int) -> StreamingMeanSeries:
         client = HiddenDBClient(TopKInterface(table, k))
@@ -145,8 +162,11 @@ def agg_factory(
     dub: Optional[int] = 32,
     weight_adjustment: bool = True,
     condition=None,
+    backend: Optional[str] = None,
 ) -> TrajectoryFactory:
     """Sessions of :class:`HDUnbiasedAgg` on *table*."""
+    if backend is not None:
+        table = table.with_backend(backend)
 
     def factory(seed: int) -> StreamingMeanSeries:
         client = HiddenDBClient(TopKInterface(table, k))

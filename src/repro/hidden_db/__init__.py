@@ -5,6 +5,14 @@ in — everything a hidden web database exposes (a restrictive top-k search
 form) and everything it hides (true counts, full result sets).
 """
 
+from repro.hidden_db.backends import (
+    BitmapIndexBackend,
+    NaiveScanBackend,
+    SelectionBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from repro.hidden_db.counters import HiddenDBClient, QueryCounter
 from repro.hidden_db.crawler import CrawlResult, crawl
 from repro.hidden_db.discretize import (
@@ -44,6 +52,12 @@ __all__ = [
     "Schema",
     "ConjunctiveQuery",
     "HiddenTable",
+    "SelectionBackend",
+    "NaiveScanBackend",
+    "BitmapIndexBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
     "TopKInterface",
     "QueryOutcome",
     "QueryResult",

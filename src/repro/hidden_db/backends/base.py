@@ -1,0 +1,113 @@
+"""Selection-backend protocol and registry.
+
+A *selection backend* is the storage engine behind a
+:class:`~repro.hidden_db.table.HiddenTable`: it answers conjunctive
+selections (`Sel(q)`) over the attribute matrix.  The table and the top-k
+interface delegate every selection to the backend, so swapping the physical
+evaluation strategy (row scans, bitmap indexes, future sharded/remote
+engines) never touches estimator code.
+
+Backends register themselves under a short name (``"scan"``, ``"bitmap"``)
+via :func:`register_backend`; :func:`make_backend` resolves a name, a class
+or a ready instance into a backend bound to one table's arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Protocol, Type, Union, runtime_checkable
+
+import numpy as np
+
+from repro.hidden_db.exceptions import SchemaError
+from repro.hidden_db.query import ConjunctiveQuery
+
+__all__ = [
+    "SelectionBackend",
+    "BackendLike",
+    "available_backends",
+    "register_backend",
+    "make_backend",
+]
+
+
+@runtime_checkable
+class SelectionBackend(Protocol):
+    """Answers conjunctive selections over one table's attribute matrix.
+
+    Implementations must be deterministic: for a fixed table the same query
+    always yields the same (ascending) row-id array, so results produced
+    through different backends — or merged from parallel workers — are
+    bit-identical.
+    """
+
+    #: Registry name of the backend (``"scan"``, ``"bitmap"``, ...).
+    name: str
+
+    def selection_ids(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Row ids of ``Sel(query)``, sorted ascending (dtype int64)."""
+        ...
+
+    def selection_count(self, query: ConjunctiveQuery) -> int:
+        """``|Sel(query)|`` — may be cheaper than materialising the ids."""
+        ...
+
+    def selection_measure_sum(self, query: ConjunctiveQuery, measure: str) -> float:
+        """``SUM(measure)`` over ``Sel(query)``."""
+        ...
+
+    def clear_cache(self) -> None:
+        """Drop any memoised state (a no-op for stateless backends)."""
+        ...
+
+
+#: Anything :func:`make_backend` can resolve.
+BackendLike = Union[str, SelectionBackend, Type["SelectionBackend"]]
+
+_REGISTRY: Dict[str, Callable[..., "SelectionBackend"]] = {}
+
+
+def available_backends() -> tuple:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_backend(name: str):
+    """Class decorator registering a backend under *name*.
+
+    >>> @register_backend("noop")           # doctest: +SKIP
+    ... class NoopBackend: ...
+    """
+
+    def decorate(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def make_backend(
+    spec: BackendLike,
+    data: np.ndarray,
+    measures: Mapping[str, np.ndarray],
+    **options,
+) -> "SelectionBackend":
+    """Resolve *spec* into a backend bound to ``(data, measures)``.
+
+    *spec* may be a registered name, a backend class, or an already-built
+    instance (returned unchanged — the caller vouches it matches the table).
+    Unknown names raise :class:`~repro.hidden_db.exceptions.SchemaError`
+    listing the registered alternatives.
+    """
+    if isinstance(spec, str):
+        try:
+            cls = _REGISTRY[spec]
+        except KeyError:
+            raise SchemaError(
+                f"unknown selection backend {spec!r}; available: "
+                f"{list(available_backends())}"
+            ) from None
+        return cls(data, measures, **options)
+    if isinstance(spec, type):
+        return spec(data, measures, **options)
+    return spec

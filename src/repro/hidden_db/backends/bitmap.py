@@ -1,0 +1,132 @@
+"""Bitmap-index backend: vectorised conjunctive selection.
+
+At build time every (attribute, value) pair gets a boolean membership mask
+over the m rows.  A conjunctive query is then answered by AND-ing the masks
+of its predicates — a handful of vectorised NumPy passes, no per-row Python
+work and no data-column gathers.  Counts come from ``count_nonzero`` on the
+combined mask (never materialising ids), and measure sums from a dot
+product of the mask with the measure column.
+
+Memory: ``m * Σ_j |Dom(A_j)|`` bytes of boolean masks — e.g. ~16 MB for the
+paper's 200k × 40-Boolean-attribute tables — paid once per table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.hidden_db.backends.base import register_backend
+from repro.hidden_db.exceptions import SchemaError
+from repro.hidden_db.query import ConjunctiveQuery
+
+__all__ = ["BitmapIndexBackend"]
+
+
+@register_backend("bitmap")
+class BitmapIndexBackend:
+    """Precomputed per-(attribute, value) boolean masks.
+
+    Parameters
+    ----------
+    data:
+        The ``(m, n)`` attribute matrix; masks are built from it eagerly.
+    measures:
+        Measure columns by name (used for mask-side SUM evaluation).
+    max_cached_queries:
+        Accepted for registry-signature compatibility; bounds the small
+        per-query id cache that preserves repeated-call identity.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        measures: Mapping[str, np.ndarray],
+        max_cached_queries: int = 100_000,
+    ) -> None:
+        self._data = data
+        self._measures = dict(measures)
+        self._num_rows = int(data.shape[0])
+        self._max_cached_queries = max_cached_queries
+        self._ids_cache: Dict[frozenset, np.ndarray] = {}
+        self._all_rows = np.arange(self._num_rows, dtype=np.int64)
+        # masks[j][v] is the boolean membership mask of A_j = v.  Built in
+        # one vectorised comparison per attribute.
+        self._masks: List[np.ndarray] = []
+        for j in range(data.shape[1]):
+            col = data[:, j]
+            domain = int(col.max()) + 1 if col.size else 1
+            attr_masks = np.equal.outer(np.arange(domain, dtype=col.dtype), col)
+            attr_masks.flags.writeable = False
+            self._masks.append(attr_masks)
+
+    # -- mask algebra -----------------------------------------------------
+
+    def _mask(self, query: ConjunctiveQuery) -> Optional[np.ndarray]:
+        """Combined boolean mask of the conjunction (None for the root)."""
+        predicates = query.predicates
+        if not predicates:
+            return None
+        attr, value = predicates[0]
+        combined = self._predicate_mask(attr, value)
+        for attr, value in predicates[1:]:
+            combined = combined & self._predicate_mask(attr, value)
+        return combined
+
+    def _predicate_mask(self, attr: int, value: int) -> np.ndarray:
+        attr_masks = self._masks[attr]
+        if value >= attr_masks.shape[0]:
+            # Value legal under the schema but absent from the data: nothing
+            # matches.  (Masks only cover observed value ranges.)
+            return np.zeros(self._num_rows, dtype=bool)
+        return attr_masks[value]
+
+    # -- SelectionBackend protocol ---------------------------------------
+
+    def selection_ids(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Row ids of Sel(q), ascending (flatnonzero of the AND-ed mask)."""
+        cached = self._ids_cache.get(query.key)
+        if cached is not None:
+            return cached
+        mask = self._mask(query)
+        ids = self._all_rows if mask is None else np.flatnonzero(mask)
+        if len(self._ids_cache) >= self._max_cached_queries:
+            # pop() tolerates concurrent evictors from worker threads.
+            drop = len(self._ids_cache) // 4 or 1
+            for stale in list(self._ids_cache)[:drop]:
+                self._ids_cache.pop(stale, None)
+        self._ids_cache[query.key] = ids
+        return ids
+
+    def selection_count(self, query: ConjunctiveQuery) -> int:
+        """|Sel(q)| by popcount — ids are never materialised."""
+        cached = self._ids_cache.get(query.key)
+        if cached is not None:
+            return int(cached.size)
+        mask = self._mask(query)
+        if mask is None:
+            return self._num_rows
+        return int(np.count_nonzero(mask))
+
+    def selection_measure_sum(self, query: ConjunctiveQuery, measure: str) -> float:
+        """SUM(measure) over Sel(q) as a mask/column dot product."""
+        try:
+            col = self._measures[measure]
+        except KeyError:
+            raise SchemaError(f"unknown measure {measure!r}") from None
+        mask = self._mask(query)
+        if mask is None:
+            return float(col.sum())
+        return float(np.dot(mask, col))
+
+    def clear_cache(self) -> None:
+        """Drop the per-query id cache (the masks themselves stay)."""
+        self._ids_cache.clear()
+
+    def __repr__(self) -> str:
+        bitmap_bytes = sum(m.nbytes for m in self._masks)
+        return (
+            f"BitmapIndexBackend(m={self._num_rows}, "
+            f"masks={bitmap_bytes / 1e6:.1f}MB)"
+        )

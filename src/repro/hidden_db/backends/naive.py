@@ -1,0 +1,111 @@
+"""The row-scan backend (the seed implementation, extracted).
+
+Evaluates conjunctive selections by incrementally narrowing row-id arrays,
+memoising every intermediate prefix so the sibling probes of a drill down
+cost O(|parent match|) instead of O(m).  This is the default backend: it
+needs no precomputation and its prefix cache fits drill-down workloads
+(each query extends its parent by one predicate) perfectly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.hidden_db.backends.base import register_backend
+from repro.hidden_db.exceptions import SchemaError
+from repro.hidden_db.query import ConjunctiveQuery
+
+__all__ = ["NaiveScanBackend"]
+
+
+@register_backend("scan")
+class NaiveScanBackend:
+    """Incremental row-id narrowing with a bounded prefix cache.
+
+    Parameters
+    ----------
+    data:
+        The ``(m, n)`` attribute matrix (read-only from here on).
+    measures:
+        Measure columns by name.
+    max_cached_queries:
+        Cache-size bound; on overflow the oldest ~25% of entries are
+        dropped (dict preserves insertion order).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        measures: Mapping[str, np.ndarray],
+        max_cached_queries: int = 2_000_000,
+    ) -> None:
+        self._data = data
+        self._measures = dict(measures)
+        self._max_cached_queries = max_cached_queries
+        self._selection_cache: Dict[frozenset, np.ndarray] = {}
+        self._all_rows = np.arange(data.shape[0], dtype=np.int64)
+
+    def selection_ids(self, query: ConjunctiveQuery) -> np.ndarray:
+        """Row ids of Sel(q), sorted ascending.
+
+        Uses the cache of previously evaluated conjunctions: the ids of a
+        query are narrowed from the ids of its longest cached prefix (in the
+        query's own predicate insertion order).  Every intermediate prefix is
+        cached too, so the sibling probes of a drill down are O(|parent|).
+        """
+        cached = self._selection_cache.get(query.key)
+        if cached is not None:
+            return cached
+        predicates = query.predicates
+        # Find the longest cached prefix of the insertion order.
+        start = len(predicates)
+        base = None
+        while start > 0:
+            prefix_key = frozenset(predicates[:start])
+            base = self._selection_cache.get(prefix_key)
+            if base is not None:
+                break
+            start -= 1
+        if base is None:
+            base = self._all_rows
+            start = 0
+        ids = base
+        for depth in range(start, len(predicates)):
+            attr, value = predicates[depth]
+            ids = ids[self._data[ids, attr] == value]
+            self._cache_put(frozenset(predicates[: depth + 1]), ids)
+        return ids
+
+    def selection_count(self, query: ConjunctiveQuery) -> int:
+        """|Sel(q)| via the id array (shares the prefix cache)."""
+        return int(self.selection_ids(query).size)
+
+    def selection_measure_sum(self, query: ConjunctiveQuery, measure: str) -> float:
+        """SUM(measure) over Sel(q)."""
+        try:
+            col = self._measures[measure]
+        except KeyError:
+            raise SchemaError(f"unknown measure {measure!r}") from None
+        return float(col[self.selection_ids(query)].sum())
+
+    def clear_cache(self) -> None:
+        """Drop all memoised selections (mainly for memory-bound tests)."""
+        self._selection_cache.clear()
+
+    def _cache_put(self, key: frozenset, ids: np.ndarray) -> None:
+        if len(self._selection_cache) >= self._max_cached_queries:
+            # Evict the oldest ~25% (dict preserves insertion order).  pop()
+            # tolerates a concurrent evictor racing us from another worker
+            # thread (entries are idempotent, so losing a race is harmless).
+            drop = len(self._selection_cache) // 4 or 1
+            for stale in list(self._selection_cache)[:drop]:
+                self._selection_cache.pop(stale, None)
+        self._selection_cache[key] = ids
+
+    def __repr__(self) -> str:
+        return (
+            f"NaiveScanBackend(m={self._data.shape[0]}, "
+            f"cached={len(self._selection_cache)})"
+        )

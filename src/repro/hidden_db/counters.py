@@ -10,6 +10,7 @@ free, and it tracks the cost actually charged.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
@@ -60,26 +61,50 @@ class HiddenDBClient:
     All estimators take a client, never a raw interface.  The client:
 
     * submits queries through the interface and **caches every result page**
-      keyed by the canonical conjunction, so repeated queries cost nothing
-      (drill downs over the same subtree share their upper levels);
+      in a bounded LRU keyed by the canonical conjunction, so repeated
+      queries cost nothing (drill downs over the same subtree share their
+      upper levels);
     * exposes ``cost`` — the number of queries actually charged — which is
       the x-axis of every figure in the paper;
     * supports checkpointing costs so an experiment can attribute queries to
       individual drill downs.
+
+    Parameters
+    ----------
+    interface:
+        The top-k form to wrap.
+    cache:
+        Whether to memoise result pages at all.
+    retries:
+        Transient-failure retry budget per submission.
+    max_cache_entries:
+        LRU capacity of the result cache (``None`` = unbounded).  The
+        default is large enough that ordinary sessions never evict; bound it
+        tighter to model memory-constrained clients — evicted pages are
+        simply re-charged on the next ask, so estimates stay unbiased.
     """
+
+    #: Default LRU capacity — generous, but no longer an unbounded dict.
+    DEFAULT_MAX_CACHE_ENTRIES = 1_000_000
 
     def __init__(
         self,
         interface: "TopKInterface",
         cache: bool = True,
         retries: int = 0,
+        max_cache_entries: Optional[int] = DEFAULT_MAX_CACHE_ENTRIES,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be positive or None")
         self.interface = interface
         self._use_cache = cache
-        self._cache: Dict[frozenset, "QueryResult"] = {}
+        self._cache: "OrderedDict[frozenset, QueryResult]" = OrderedDict()
+        self.max_cache_entries = max_cache_entries
         self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
         self.retries = retries
         self.retries_performed = 0
 
@@ -109,13 +134,19 @@ class HiddenDBClient:
 
     # -- querying --------------------------------------------------------
 
-    def query(self, q: ConjunctiveQuery) -> "QueryResult":
+    def query(self, q: ConjunctiveQuery, count_only: bool = False) -> "QueryResult":
         """Submit *q*, serving it from cache when possible.
 
         Transient server errors (see :mod:`repro.hidden_db.flaky`) are
         retried up to ``retries`` times; the final failure propagates.
         Retrying is sound — a failed submission reveals nothing about the
         data, so unbiasedness is untouched.
+
+        ``count_only=True`` requests only the page classification (outcome
+        and result count) — hot estimator loops use it to skip tuple
+        materialisation.  The charge and the cache entry are identical
+        either way, so mixing count-only and full asks of the same query
+        never costs an extra submission.
         """
         from repro.hidden_db.flaky import TransientServerError
 
@@ -123,11 +154,13 @@ class HiddenDBClient:
             hit = self._cache.get(q.key)
             if hit is not None:
                 self.cache_hits += 1
+                self._cache.move_to_end(q.key)
                 return hit
+            self.cache_misses += 1
         attempts = self.retries + 1
         for attempt in range(attempts):
             try:
-                result = self.interface.query(q)
+                result = self.interface.query(q, count_only=count_only)
                 break
             except TransientServerError:
                 if attempt + 1 >= attempts:
@@ -135,6 +168,13 @@ class HiddenDBClient:
                 self.retries_performed += 1
         if self._use_cache:
             self._cache[q.key] = result
+            self._cache.move_to_end(q.key)
+            if (
+                self.max_cache_entries is not None
+                and len(self._cache) > self.max_cache_entries
+            ):
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
         return result
 
     def is_cached(self, q: ConjunctiveQuery) -> bool:
@@ -145,9 +185,40 @@ class HiddenDBClient:
         """Drop the client cache (simulates a fresh session)."""
         self._cache.clear()
         self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+
+    def cache_info(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction statistics of the result cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+            "entries": len(self._cache),
+            "capacity": self.max_cache_entries,
+        }
+
+    def report(self) -> Dict[str, float]:
+        """Counter report: query accounting plus cache statistics.
+
+        This is the per-session record the experiment harness and the
+        parallel engine merge — every value is a plain number so reports
+        from independent workers sum component-wise (``hit_rate`` excepted;
+        it is recomputed from the merged hits/misses).
+        """
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "cost": self.cost,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_entries": len(self._cache),
+            "hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
+            "retries_performed": self.retries_performed,
+        }
 
     def __repr__(self) -> str:
         return (
             f"HiddenDBClient(cost={self.cost}, cached={len(self._cache)}, "
-            f"hits={self.cache_hits})"
+            f"hits={self.cache_hits}, misses={self.cache_misses})"
         )

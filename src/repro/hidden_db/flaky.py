@@ -83,7 +83,7 @@ class FlakyInterface:
         """Counter of the wrapped form."""
         return self.interface.counter
 
-    def query(self, q: ConjunctiveQuery) -> QueryResult:
+    def query(self, q: ConjunctiveQuery, count_only: bool = False) -> QueryResult:
         """Submit *q*, possibly failing transiently."""
         if self._rng.random() < self.failure_rate:
             self.failures_injected += 1
@@ -92,7 +92,7 @@ class FlakyInterface:
             raise TransientServerError(
                 f"injected failure #{self.failures_injected}"
             )
-        return self.interface.query(q)
+        return self.interface.query(q, count_only=count_only)
 
     def __repr__(self) -> str:
         return (

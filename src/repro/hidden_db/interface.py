@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -59,12 +59,53 @@ class ReturnedTuple:
         return self.measures[name]
 
 
-@dataclass(frozen=True)
 class QueryResult:
-    """What the web page shows after a query submission."""
+    """What the web page shows after a query submission.
 
-    outcome: QueryOutcome
-    tuples: Tuple[ReturnedTuple, ...]
+    The page's *classification* (outcome, number of displayed tuples) is
+    always available immediately; the displayed tuples themselves can be
+    **lazy** — built on first access from a deterministic materialiser.
+    Estimator hot loops mostly classify pages (underflow? valid? how many
+    rows?), so skipping :class:`ReturnedTuple` construction until someone
+    actually reads the rows removes the dominant allocation cost of a
+    simulated round.  Materialisation is deterministic (same backend, same
+    ranking), so a lazy page is indistinguishable from an eager one.
+    """
+
+    __slots__ = ("outcome", "_tuples", "_num_returned", "_materialize")
+
+    def __init__(
+        self,
+        outcome: QueryOutcome,
+        tuples: Optional[Tuple[ReturnedTuple, ...]] = None,
+        *,
+        num_returned: Optional[int] = None,
+        materializer: Optional[Callable[[], Tuple[ReturnedTuple, ...]]] = None,
+    ) -> None:
+        if tuples is None and materializer is None:
+            raise ValueError("QueryResult needs tuples or a materializer")
+        self.outcome = outcome
+        self._tuples = tuples
+        self._materialize = materializer
+        if num_returned is not None:
+            self._num_returned = int(num_returned)
+        elif tuples is not None:
+            self._num_returned = len(tuples)
+        else:
+            raise ValueError("a lazy QueryResult needs an explicit num_returned")
+
+    @property
+    def tuples(self) -> Tuple[ReturnedTuple, ...]:
+        """The displayed tuples (materialised on first access)."""
+        if self._tuples is None:
+            self._tuples = tuple(self._materialize())
+            self._materialize = None
+        return self._tuples
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once the displayed tuples have been built."""
+        return self._tuples is not None
 
     @property
     def overflow(self) -> bool:
@@ -84,11 +125,26 @@ class QueryResult:
     @property
     def num_returned(self) -> int:
         """|q| = min(k, |Sel(q)|) — the number of displayed tuples."""
-        return len(self.tuples)
+        return self._num_returned
 
     def sum_measure(self, name: str) -> float:
         """Sum of measure *name* over the displayed tuples."""
         return sum(t.measures[name] for t in self.tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self.outcome is other.outcome and self.tuples == other.tuples
+
+    def __hash__(self) -> int:
+        return hash((self.outcome, self.tuples))
+
+    def __repr__(self) -> str:
+        shown = len(self._tuples) if self._tuples is not None else "lazy"
+        return (
+            f"QueryResult({self.outcome.value}, returned={self._num_returned}, "
+            f"tuples={shown})"
+        )
 
 
 class TopKInterface:
@@ -125,32 +181,65 @@ class TopKInterface:
         """The table schema (forms publish their fields)."""
         return self.table.schema
 
-    def query(self, q: ConjunctiveQuery) -> QueryResult:
+    def query(self, q: ConjunctiveQuery, count_only: bool = False) -> QueryResult:
         """Submit *q* through the form and return the result page.
 
         Raises :class:`QueryLimitExceeded` once the counter's budget is
         exhausted, mirroring per-IP limits of real hidden databases.
+
+        With ``count_only=True`` the page is classified through the
+        backend's count fast path (on the bitmap backend a popcount — no id
+        materialisation, no ranking) and the displayed tuples stay lazy;
+        reading ``result.tuples`` later re-derives them deterministically.
+        The submission is charged identically either way — *count_only*
+        models a client that only inspects the overflow flag and result
+        count of a page it already paid for.
         """
         q.validate(self.table.schema)
         self.counter.charge(q)
-        ids = self.table.selection_ids(q)
-        total = int(ids.size)
+        backend = self.table.backend
+        if count_only:
+            total = backend.selection_count(q)
+        else:
+            # Eager consumers materialise right below; going through
+            # selection_ids once lets the backend's id cache serve the
+            # materialiser instead of evaluating the conjunction twice.
+            total = int(backend.selection_ids(q).size)
         if total == 0:
             return QueryResult(QueryOutcome.UNDERFLOW, ())
         if total <= self.k:
-            shown = np.sort(ids)
             outcome = QueryOutcome.VALID
+            num_returned = total
+        else:
+            outcome = QueryOutcome.OVERFLOW
+            num_returned = self.k
+        result = QueryResult(
+            outcome,
+            num_returned=num_returned,
+            materializer=lambda: self._materialize_page(q, outcome),
+        )
+        if not count_only:
+            # Eager path: build the page now (the classic interface
+            # contract); hot loops pass count_only=True to skip it.
+            _ = result.tuples
+        return result
+
+    def _materialize_page(
+        self, q: ConjunctiveQuery, outcome: QueryOutcome
+    ) -> Tuple[ReturnedTuple, ...]:
+        """Build the displayed tuples of an already-classified page."""
+        ids = self.table.selection_ids(q)
+        if outcome is QueryOutcome.VALID:
+            shown = np.sort(ids)
         else:
             shown = self.ranking.order(ids, self.table)[: self.k]
-            outcome = QueryOutcome.OVERFLOW
-        tuples = tuple(
+        return tuple(
             ReturnedTuple(
                 values=self.table.row_values(int(rid)),
                 measures=self.table.row_measures(int(rid)),
             )
             for rid in shown
         )
-        return QueryResult(outcome, tuples)
 
     def __repr__(self) -> str:
         return f"TopKInterface(k={self.k}, table={self.table!r})"

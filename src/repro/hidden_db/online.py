@@ -66,7 +66,7 @@ class OnlineFormSimulator:
         """Counter of queries charged *today*."""
         return self._today
 
-    def query(self, q: ConjunctiveQuery) -> QueryResult:
+    def query(self, q: ConjunctiveQuery, count_only: bool = False) -> QueryResult:
         """Submit a query, enforcing form rules and the daily quota."""
         if self.required_attributes and not any(
             q.constrains(a) for a in self.required_attributes
@@ -83,7 +83,7 @@ class OnlineFormSimulator:
                 f"day {self.day}; call advance_day() to continue"
             ) from None
         self.total_issued += 1
-        return self.interface.query(q)
+        return self.interface.query(q, count_only=count_only)
 
     def advance_day(self) -> None:
         """Move to the next day, refreshing the daily quota."""

@@ -1,11 +1,11 @@
 """In-memory hidden database table.
 
 ``HiddenTable`` is the *server side* storage: a numpy column store over the
-searchable attributes plus float measure columns.  It evaluates conjunctive
-queries incrementally: the matching row-id set of a query is derived by
-narrowing the cached row-id set of its longest cached sub-query, which makes
-drill-down workloads (each query extends its parent by one predicate) cost
-O(|parent match|) instead of O(m).
+searchable attributes plus float measure columns.  Selection evaluation is
+delegated to a pluggable :mod:`repro.hidden_db.backends` engine — the
+default ``"scan"`` backend narrows cached row-id sets incrementally (ideal
+for drill-down workloads), the ``"bitmap"`` backend precomputes per-value
+boolean masks and answers conjunctions with vectorised intersections.
 
 The table itself has *full knowledge* (it can count exactly); the top-k
 restriction lives in :mod:`repro.hidden_db.interface`.  Estimator code must
@@ -18,6 +18,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hidden_db.backends import BackendLike, SelectionBackend, make_backend
 from repro.hidden_db.exceptions import SchemaError
 from repro.hidden_db.query import ConjunctiveQuery
 from repro.hidden_db.schema import Schema
@@ -41,6 +42,12 @@ class HiddenTable:
         a fully-specified query can overflow and a drill down may never
         terminate.  Generators in :mod:`repro.datasets` always deduplicate;
         set this to True to verify.
+    backend:
+        Selection engine: a registered backend name (``"scan"``,
+        ``"bitmap"``), a backend class, or a pre-built instance.  See
+        :mod:`repro.hidden_db.backends`.
+    max_cached_queries:
+        Bound on the backend's per-query memoisation cache.
     """
 
     def __init__(
@@ -50,6 +57,7 @@ class HiddenTable:
         measures: Optional[Mapping[str, np.ndarray]] = None,
         check_duplicates: bool = False,
         max_cached_queries: int = 2_000_000,
+        backend: BackendLike = "scan",
     ) -> None:
         data = np.ascontiguousarray(data)
         if data.ndim != 2:
@@ -89,8 +97,10 @@ class HiddenTable:
         self._data = data
         self._measures = {name: np.asarray(col, dtype=float) for name, col in measures.items()}
         self._max_cached_queries = max_cached_queries
-        self._selection_cache: Dict[frozenset, np.ndarray] = {}
-        self._all_rows = np.arange(data.shape[0], dtype=np.int64)
+        self._backend: SelectionBackend = make_backend(
+            backend, self._data, self._measures,
+            max_cached_queries=max_cached_queries,
+        )
 
     # -- basic geometry --------------------------------------------------
 
@@ -129,59 +139,52 @@ class HiddenTable:
         """Measure values of one row."""
         return {name: float(col[row_id]) for name, col in self._measures.items()}
 
-    # -- selection ---------------------------------------------------------
+    # -- selection (delegated to the backend) ----------------------------
+
+    @property
+    def backend(self) -> SelectionBackend:
+        """The selection engine answering conjunctive queries."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend."""
+        return getattr(self._backend, "name", type(self._backend).__name__)
+
+    def with_backend(self, backend: BackendLike, **options) -> "HiddenTable":
+        """A table over the same data served by a different backend.
+
+        The attribute matrix and measure columns are shared (they are
+        read-only); only the selection engine is rebuilt.
+        """
+        if isinstance(backend, str) and backend == self.backend_name and not options:
+            return self
+        options.setdefault("max_cached_queries", self._max_cached_queries)
+        clone = HiddenTable.__new__(HiddenTable)
+        clone.schema = self.schema
+        clone._data = self._data
+        clone._measures = self._measures
+        clone._max_cached_queries = options["max_cached_queries"]
+        clone._backend = make_backend(backend, self._data, self._measures, **options)
+        return clone
 
     def selection_ids(self, query: ConjunctiveQuery) -> np.ndarray:
-        """Row ids of Sel(q), sorted ascending.
-
-        Uses the cache of previously evaluated conjunctions: the ids of a
-        query are narrowed from the ids of its longest cached prefix (in the
-        query's own predicate insertion order).  Every intermediate prefix is
-        cached too, so the sibling probes of a drill down are O(|parent|).
-        """
-        cached = self._selection_cache.get(query.key)
-        if cached is not None:
-            return cached
-        predicates = query.predicates
-        # Find the longest cached prefix of the insertion order.
-        start = len(predicates)
-        base = None
-        while start > 0:
-            prefix_key = frozenset(predicates[:start])
-            base = self._selection_cache.get(prefix_key)
-            if base is not None:
-                break
-            start -= 1
-        if base is None:
-            base = self._all_rows
-            start = 0
-        ids = base
-        for depth in range(start, len(predicates)):
-            attr, value = predicates[depth]
-            ids = ids[self._data[ids, attr] == value]
-            self._cache_put(frozenset(predicates[: depth + 1]), ids)
-        return ids
+        """Row ids of Sel(q), sorted ascending (backend-evaluated)."""
+        return self._backend.selection_ids(query)
 
     def count(self, query: ConjunctiveQuery) -> int:
         """Exact |Sel(q)| — ground truth, not available through the form."""
-        return int(self.selection_ids(query).size)
+        return self._backend.selection_count(query)
 
     def sum_measure(self, query: ConjunctiveQuery, measure: str) -> float:
         """Exact SUM(measure) over Sel(q) — ground truth."""
-        ids = self.selection_ids(query)
-        return float(self.measure(measure)[ids].sum())
+        if measure not in self._measures:
+            raise SchemaError(f"unknown measure {measure!r}")
+        return self._backend.selection_measure_sum(query, measure)
 
     def clear_cache(self) -> None:
         """Drop all memoised selections (mainly for memory-bound tests)."""
-        self._selection_cache.clear()
-
-    def _cache_put(self, key: frozenset, ids: np.ndarray) -> None:
-        if len(self._selection_cache) >= self._max_cached_queries:
-            # Evict the oldest ~25% (dict preserves insertion order).
-            drop = len(self._selection_cache) // 4 or 1
-            for stale in list(self._selection_cache)[:drop]:
-                del self._selection_cache[stale]
-        self._selection_cache[key] = ids
+        self._backend.clear_cache()
 
     # -- construction helpers ------------------------------------------
 
@@ -206,5 +209,5 @@ class HiddenTable:
     def __repr__(self) -> str:
         return (
             f"HiddenTable(m={self.num_tuples}, n={self.num_attributes}, "
-            f"measures={list(self._measures)})"
+            f"measures={list(self._measures)}, backend={self.backend_name!r})"
         )

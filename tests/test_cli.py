@@ -22,6 +22,19 @@ class TestParser:
         args = build_parser().parse_args(["estimate"])
         assert args.dataset == "yahoo"
         assert args.rounds == 20
+        assert args.backend == "scan"
+        assert args.workers == 1
+
+    def test_estimate_backend_and_workers_flags(self):
+        args = build_parser().parse_args(
+            ["estimate", "--backend", "bitmap", "--workers", "4"]
+        )
+        assert args.backend == "bitmap"
+        assert args.workers == 4
+
+    def test_estimate_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--backend", "nope"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -57,6 +70,25 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "estimate=" in out and "m=1000" in out
+
+    def test_estimate_backend_independent(self, capsys):
+        base = ["estimate", "--dataset", "iid", "--m", "500", "--k", "20",
+                "--rounds", "4", "--seed", "3"]
+        assert main(base + ["--backend", "scan"]) == 0
+        scan_out = capsys.readouterr().out
+        assert main(base + ["--backend", "bitmap"]) == 0
+        bitmap_out = capsys.readouterr().out
+        assert scan_out.splitlines()[-1] == bitmap_out.splitlines()[-1]
+        assert "backend=bitmap" in bitmap_out
+
+    def test_estimate_parallel_workers(self, capsys):
+        code = main([
+            "estimate", "--dataset", "iid", "--m", "500", "--k", "20",
+            "--rounds", "4", "--seed", "3", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out and "estimate=" in out
 
     def test_tune_command(self, capsys):
         code = main([

@@ -111,3 +111,91 @@ class TestHiddenDBClient:
         client = fresh()
         client.query(ConjunctiveQuery())
         assert "cost=1" in repr(client)
+
+
+class TestLRUCache:
+    def make(self, capacity, k=1):
+        table = running_example()
+        return HiddenDBClient(TopKInterface(table, k), max_cache_entries=capacity)
+
+    def queries(self):
+        return [ConjunctiveQuery().extended(0, v) for v in (0, 1)] + [
+            ConjunctiveQuery().extended(1, v) for v in (0, 1)
+        ]
+
+    def test_capacity_bound_enforced(self):
+        client = self.make(capacity=2)
+        for q in self.queries():
+            client.query(q)
+        assert len(client._cache) == 2
+        assert client.cache_evictions == 2
+
+    def test_eviction_recharges(self):
+        client = self.make(capacity=1)
+        a, b = self.queries()[:2]
+        client.query(a)
+        client.query(b)  # evicts a
+        client.query(a)  # re-charged
+        assert client.cost == 3
+        assert client.cache_evictions == 2
+
+    def test_lru_order_recency(self):
+        client = self.make(capacity=2)
+        a, b, c = self.queries()[:3]
+        client.query(a)
+        client.query(b)
+        client.query(a)  # refresh a: b is now least-recent
+        client.query(c)  # evicts b, keeps a
+        assert client.is_cached(a) and client.is_cached(c)
+        assert not client.is_cached(b)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(capacity=0)
+
+    def test_unbounded_mode(self):
+        client = self.make(capacity=None)
+        for q in self.queries():
+            client.query(q)
+        assert client.cache_evictions == 0
+
+    def test_cache_info_and_report(self):
+        client = self.make(capacity=10)
+        q = self.queries()[0]
+        client.query(q)
+        client.query(q)
+        info = client.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["entries"] == 1 and info["capacity"] == 10
+        report = client.report()
+        assert report["cost"] == 1
+        assert report["hit_rate"] == 0.5
+
+    def test_clear_cache_resets_stats(self):
+        client = self.make(capacity=10)
+        q = self.queries()[0]
+        client.query(q)
+        client.query(q)
+        client.clear_cache()
+        info = client.cache_info()
+        assert info["hits"] == info["misses"] == info["evictions"] == 0
+
+
+class TestCountOnly:
+    def test_count_only_costs_the_same(self):
+        client = fresh()
+        q = ConjunctiveQuery().extended(0, 0)
+        first = client.query(q, count_only=True)
+        second = client.query(q)  # served from cache — no extra charge
+        assert client.cost == 1
+        assert first is second
+
+    def test_count_only_classification_matches_full(self):
+        client_a = fresh()
+        client_b = fresh()
+        for v in (0, 1):
+            q = ConjunctiveQuery().extended(0, v)
+            assert (
+                client_a.query(q, count_only=True).outcome
+                is client_b.query(q).outcome
+            )

@@ -1,0 +1,170 @@
+"""Parallel round-execution engine: determinism and merge accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import BoolUnbiasedSize, HDUnbiasedAgg, HDUnbiasedSize, ParallelSession
+from repro.core.engine import merge_rounds
+from repro.core.estimators import RoundEstimate
+from repro.datasets import yahoo_auto
+from repro.hidden_db import HiddenDBClient, OnlineFormSimulator, TopKInterface
+
+
+def make_estimator(table, seed, k=50, **kwargs):
+    client = HiddenDBClient(TopKInterface(table, k))
+    return HDUnbiasedSize(client, r=2, dub=16, seed=seed, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return yahoo_auto(m=1_000, seed=5)
+
+
+class TestBitIdentity:
+    def test_workers_1_vs_4_bit_identical(self, table):
+        results = {}
+        for workers in (1, 4):
+            session = ParallelSession(
+                lambda seed: make_estimator(table, seed),
+                workers=workers,
+                seed=123,
+            )
+            results[workers] = session.run(rounds=12)
+        one, four = results[1], results[4]
+        assert one.estimates == four.estimates
+        assert one.total_cost == four.total_cost
+        assert one.mean == four.mean
+        assert one.ci95 == four.ci95
+        assert one.trajectory.xs == four.trajectory.xs
+        assert one.trajectory.values == four.trajectory.values
+        assert [r.cost for r in one.raw_rounds] == [r.cost for r in four.raw_rounds]
+
+    def test_estimator_run_worker_count_invariant(self, table):
+        results = []
+        for workers in (2, 3):
+            estimator = make_estimator(table, seed=7)
+            results.append(estimator.run(rounds=8, workers=workers))
+        assert results[0].estimates == results[1].estimates
+        assert results[0].total_cost == results[1].total_cost
+
+    def test_round_seeds_fixed_by_session_seed(self, table):
+        a = ParallelSession(lambda s: None, seed=9).round_seeds(6)
+        b = ParallelSession(lambda s: None, workers=8, seed=9).round_seeds(6)
+        assert a == b
+
+    def test_agg_parallel_matches_across_worker_counts(self, table):
+        def run(workers):
+            client = HiddenDBClient(TopKInterface(table, 50))
+            estimator = HDUnbiasedAgg(
+                client, aggregate="sum", measure="PRICE", r=2, dub=16, seed=31
+            )
+            return estimator.run(rounds=6, workers=workers)
+
+        assert run(2).estimates == run(4).estimates
+
+    def test_bool_estimator_spawns(self, table):
+        def run(workers):
+            client = HiddenDBClient(TopKInterface(table, 50))
+            return BoolUnbiasedSize(client, seed=13).run(rounds=5, workers=workers)
+
+        assert run(2).estimates == run(3).estimates
+
+    def test_process_executor_matches_threads(self, table):
+        def run(executor):
+            estimator = make_estimator(table, seed=19)
+            return estimator.run(rounds=3, workers=2, executor=executor)
+
+        assert run("process").estimates == run("thread").estimates
+
+
+class TestMergeAccounting:
+    def test_merge_rounds_totals(self):
+        rounds = [
+            RoundEstimate(values=np.array([float(v)]), cost=c, walks=1)
+            for v, c in [(10, 3), (20, 5), (30, 2)]
+        ]
+        merged = merge_rounds(rounds, statistic=lambda v: float(v[0]), dims=1)
+        assert merged.rounds == 3
+        assert merged.total_cost == 10
+        assert merged.estimates == [10.0, 20.0, 30.0]
+        assert merged.mean == pytest.approx(20.0)
+        # Trajectory lays rounds on the cost axis in round order.
+        assert merged.trajectory.xs == [3.0, 8.0, 10.0]
+        assert merged.trajectory.values == [10.0, 15.0, 20.0]
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_rounds([], statistic=lambda v: float(v[0]), dims=1)
+
+    def test_session_total_cost_equals_round_sum(self, table):
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed), workers=4, seed=3
+        )
+        result = session.run(rounds=10)
+        assert result.total_cost == sum(r.cost for r in result.raw_rounds)
+        assert result.rounds == 10
+
+    def test_client_stats_merged(self, table):
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed), workers=2, seed=3
+        )
+        result = session.run(rounds=6)
+        stats = session.client_stats
+        assert stats["cost"] == result.total_cost
+        assert stats["cache_misses"] >= result.total_cost
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelSession(lambda s: None, workers=0)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSession(lambda s: None, executor="fork-bomb")
+
+    def test_zero_rounds_rejected(self, table):
+        session = ParallelSession(lambda seed: make_estimator(table, seed), seed=1)
+        with pytest.raises(ValueError):
+            session.run(rounds=0)
+
+    def test_parallel_run_requires_round_count(self, table):
+        estimator = make_estimator(table, seed=1)
+        with pytest.raises(ValueError, match="round count"):
+            estimator.run(query_budget=100, workers=2)
+
+    def test_parallel_run_rejects_budget_alongside_rounds(self, table):
+        estimator = make_estimator(table, seed=1)
+        with pytest.raises(ValueError, match="budget"):
+            estimator.run(rounds=5, query_budget=100, workers=2)
+
+    def test_parallel_run_rejects_hard_limited_interface(self, table):
+        from repro.hidden_db import QueryCounter
+
+        client = HiddenDBClient(
+            TopKInterface(table, 50, counter=QueryCounter(limit=100))
+        )
+        estimator = HDUnbiasedSize(client, r=2, dub=16, seed=1)
+        with pytest.raises(ValueError, match="hard query limit"):
+            estimator.run(rounds=5, workers=2)
+
+    def test_workers_below_one_rejected(self, table):
+        estimator = make_estimator(table, seed=1)
+        with pytest.raises(ValueError, match="workers"):
+            estimator.run(rounds=3, workers=0)
+
+    def test_wrapped_interface_cannot_be_cloned(self, table):
+        simulator = OnlineFormSimulator(TopKInterface(table, 50))
+        estimator = HDUnbiasedSize(
+            HiddenDBClient(simulator), r=2, dub=16, seed=1
+        )
+        with pytest.raises(ValueError, match="TopKInterface"):
+            estimator.run(rounds=4, workers=2)
+
+    def test_sequential_path_untouched_by_workers_kwarg(self, table):
+        # workers=1 must go through the classic shared-cache session.
+        a = make_estimator(table, seed=17).run(rounds=5)
+        b = make_estimator(table, seed=17).run(rounds=5, workers=1)
+        assert a.estimates == b.estimates
+        assert a.total_cost == b.total_cost

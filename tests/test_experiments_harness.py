@@ -82,6 +82,23 @@ class TestFactories:
         with pytest.raises(ValueError):
             collect_trajectories(factory, 0, base_seed=1)
 
+    def test_collect_parallel_matches_sequential(self, table):
+        factory = hd_size_factory(table, k=10, budget=80, r=2, dub=8)
+        sequential = collect_trajectories(factory, 4, base_seed=5)
+        parallel = collect_trajectories(factory, 4, base_seed=5, workers=3)
+        for a, b in zip(sequential, parallel):
+            assert a.xs == b.xs
+            assert a.values == b.values
+
+    def test_factory_backend_option(self, table):
+        scan = hd_size_factory(table, k=10, budget=80, r=2, dub=8)
+        bitmap = hd_size_factory(
+            table, k=10, budget=80, r=2, dub=8, backend="bitmap"
+        )
+        a, b = scan(9), bitmap(9)
+        assert a.xs == b.xs
+        assert a.values == b.values
+
 
 class TestMetrics:
     def _trajectories(self):

@@ -122,3 +122,41 @@ class TestRanking:
             iface = TopKInterface(t, k=10, ranking=ranking)
             res = iface.query(ConjunctiveQuery())
             assert res.valid and res.num_returned == 10
+
+
+class TestCountOnlyFastPath:
+    def test_charges_like_a_full_query(self):
+        iface = TopKInterface(make_table(), k=3)
+        iface.query(ConjunctiveQuery(), count_only=True)
+        iface.query(ConjunctiveQuery())
+        assert iface.counter.issued == 2
+
+    def test_classification_without_materialisation(self):
+        iface = TopKInterface(make_table(), k=3)
+        res = iface.query(ConjunctiveQuery(), count_only=True)
+        assert res.overflow
+        assert res.num_returned == 3
+        assert not res.is_materialized
+
+    def test_lazy_page_matches_eager_page(self):
+        t = make_table()
+        iface = TopKInterface(t, k=4)
+        lazy = iface.query(ConjunctiveQuery(), count_only=True)
+        eager = iface.query(ConjunctiveQuery())
+        assert [r.values for r in lazy.tuples] == [r.values for r in eager.tuples]
+        assert lazy.is_materialized
+
+    def test_underflow_is_always_materialised(self):
+        t = make_table(m=9)  # the (1, 4) combination is absent
+        iface = TopKInterface(t, k=4)
+        res = iface.query(
+            ConjunctiveQuery().extended(0, 1).extended(1, 4), count_only=True
+        )
+        assert res.underflow
+        assert res.is_materialized
+        assert res.tuples == ()
+
+    def test_eager_default_still_materialises(self):
+        iface = TopKInterface(make_table(), k=3)
+        res = iface.query(ConjunctiveQuery())
+        assert res.is_materialized

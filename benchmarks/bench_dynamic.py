@@ -1,0 +1,169 @@
+"""Dynamic-tracking benchmark (emits ``BENCH_dynamic.json``).
+
+Compares the two per-epoch tracking policies on a churning Boolean
+database:
+
+* **reissue** — `RSReissueEstimator`: epoch 0 runs the full round pool,
+  every later epoch replays a seeded subset of ``REISSUE`` prior drill
+  downs and folds the measured drift into the stored pool;
+* **restart** — fresh HD-UNBIASED rounds every epoch (the baseline the
+  dynamic-database literature compares against).
+
+Both policies see the *identical* database evolution (fixed churn seed),
+so their per-epoch variances and costs are directly comparable.  The
+headline number is the **cost ratio at matched variance**: the queries the
+restart policy would need per epoch to reach the reissue policy's
+variance (restart variance scales as sigma^2/rounds, so matched rounds =
+sigma^2_round / var_reissue), divided by what reissue actually pays.  The
+acceptance bar is ratio >= MATCHED_COST_ADVANTAGE_FLOOR (> 1 means
+reissue is strictly cheaper at equal accuracy).
+
+Runs standalone (``python benchmarks/bench_dynamic.py``) or under pytest;
+either way it writes ``BENCH_dynamic.json`` via the shared
+``_bench_utils`` conventions.
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _bench_utils import write_bench_json
+
+from repro.datasets import bool_iid
+from repro.experiments.harness import collect_epoch_trajectories
+
+M = 512
+N_ATTRS = 11
+K = 32
+EPOCHS = 5
+CHURN = 0.04
+ROUNDS = 32
+REISSUE = 8
+REPLICATIONS = 120
+WORKERS = 4
+MATCHED_COST_ADVANTAGE_FLOOR = 1.2
+#: Per-epoch |z| bound for the mean estimate over replications (unbiasedness).
+UNBIASEDNESS_Z_BOUND = 3.0
+
+
+def _table_factory():
+    return bool_iid(m=M, n=N_ATTRS, seed=11)
+
+
+def _collect(policy, **kwargs):
+    return collect_epoch_trajectories(
+        _table_factory,
+        replications=REPLICATIONS,
+        base_seed=700,
+        epochs=EPOCHS,
+        churn=CHURN,
+        churn_seed=17,
+        policy=policy,
+        k=K,
+        workers=WORKERS,
+        **kwargs,
+    )
+
+
+def run():
+    reissue_runs = _collect("reissue", rounds=ROUNDS, reissue_per_epoch=REISSUE)
+    restart_runs = _collect("restart", rounds=ROUNDS)
+    truths = reissue_runs[0].truths
+    assert restart_runs[0].truths == truths, "policies must share the evolution"
+
+    reissue_est = np.array([r.estimates for r in reissue_runs])
+    restart_est = np.array([r.estimates for r in restart_runs])
+    reissue_cost = np.array([r.costs for r in reissue_runs], dtype=float)
+    restart_cost = np.array([r.costs for r in restart_runs], dtype=float)
+
+    # Restart's per-round variance/cost, pooled over the churned epochs.
+    sigma2_round = float(restart_est[:, 1:].var(axis=0, ddof=1).mean()) * ROUNDS
+    cost_per_round = float(restart_cost[:, 1:].mean()) / ROUNDS
+
+    epochs = []
+    ratios = []
+    for epoch in range(EPOCHS):
+        reissue_mean = float(reissue_est[:, epoch].mean())
+        reissue_var = float(reissue_est[:, epoch].var(ddof=1))
+        reissue_se = float(
+            reissue_est[:, epoch].std(ddof=1) / np.sqrt(REPLICATIONS)
+        )
+        z = (reissue_mean - truths[epoch]) / reissue_se if reissue_se else 0.0
+        record = {
+            "epoch": epoch,
+            "truth": truths[epoch],
+            "reissue_mean": reissue_mean,
+            "reissue_var": reissue_var,
+            "reissue_z": z,
+            "reissue_cost": float(reissue_cost[:, epoch].mean()),
+            "restart_var": float(restart_est[:, epoch].var(ddof=1)),
+            "restart_cost": float(restart_cost[:, epoch].mean()),
+        }
+        if epoch:
+            matched_rounds = sigma2_round / reissue_var
+            matched_cost = matched_rounds * cost_per_round
+            record["restart_cost_at_matched_variance"] = matched_cost
+            record["matched_cost_ratio"] = (
+                matched_cost / record["reissue_cost"]
+            )
+            ratios.append(record["matched_cost_ratio"])
+        epochs.append(record)
+
+    payload = {
+        "dataset": f"bool_iid(m={M}, n={N_ATTRS})",
+        "k": K,
+        "churn_rate": CHURN,
+        "epochs": EPOCHS,
+        "replications": REPLICATIONS,
+        "rounds": ROUNDS,
+        "reissue_per_epoch": REISSUE,
+        "sigma2_per_round": sigma2_round,
+        "restart_cost_per_round": cost_per_round,
+        "per_epoch": epochs,
+        "mean_matched_cost_ratio": float(np.mean(ratios)),
+        "min_matched_cost_ratio": float(np.min(ratios)),
+        "max_abs_z": float(max(abs(e["reissue_z"]) for e in epochs)),
+    }
+    path = write_bench_json("dynamic", payload)
+    for record in epochs:
+        ratio = record.get("matched_cost_ratio")
+        ratio_s = f"  matched-cost ratio {ratio:4.1f}x" if ratio else ""
+        print(
+            f"epoch {record['epoch']}: truth {record['truth']:6.0f}  "
+            f"reissue {record['reissue_mean']:7.1f} "
+            f"(var {record['reissue_var']:6.1f}, "
+            f"{record['reissue_cost']:5.0f} q)  "
+            f"restart var {record['restart_var']:6.1f}, "
+            f"{record['restart_cost']:5.0f} q{ratio_s}"
+        )
+    print(
+        f"matched-variance cost advantage: mean "
+        f"{payload['mean_matched_cost_ratio']:.1f}x, min "
+        f"{payload['min_matched_cost_ratio']:.1f}x "
+        f"(floor {MATCHED_COST_ADVANTAGE_FLOOR}x); "
+        f"max |z| {payload['max_abs_z']:.2f}"
+    )
+    print(f"wrote {path}")
+    return payload
+
+
+def test_dynamic_tracking_benchmark():
+    """Reissue must beat restart at matched variance and stay unbiased."""
+    payload = run()
+    assert payload["min_matched_cost_ratio"] >= MATCHED_COST_ADVANTAGE_FLOOR
+    assert payload["max_abs_z"] <= UNBIASEDNESS_Z_BOUND
+
+
+if __name__ == "__main__":
+    payload = run()
+    ok = (
+        payload["min_matched_cost_ratio"] >= MATCHED_COST_ADVANTAGE_FLOOR
+        and payload["max_abs_z"] <= UNBIASEDNESS_Z_BOUND
+    )
+    print(
+        f"matched-cost floor {MATCHED_COST_ADVANTAGE_FLOOR}x and "
+        f"|z| <= {UNBIASEDNESS_Z_BOUND}: {'PASS' if ok else 'FAIL'}"
+    )
+    raise SystemExit(0 if ok else 1)

@@ -19,18 +19,27 @@ results and :mod:`repro.experiments` for the figure/table harness.
 Architecture: selections are served by pluggable backends
 (:mod:`repro.hidden_db.backends` — ``"scan"`` row narrowing or ``"bitmap"``
 vectorised masks) and estimator rounds can be fanned out over a worker pool
-(:class:`repro.core.engine.ParallelSession`).  ``ARCHITECTURE.md`` at the
-repository root documents the interface → backend → engine layering and how
-to add a new backend.
+(:class:`repro.core.engine.ParallelSession`).  Tables are epoch-versioned
+(:meth:`HiddenTable.apply_updates` + :mod:`repro.datasets.churn`) and
+:class:`repro.core.dynamic.RSReissueEstimator` tracks aggregates of a
+*churning* database by reissuing prior drill downs (``track`` on the CLI).
+``ARCHITECTURE.md`` at the repository root documents the interface →
+backend → engine layering, the versioning/epoch layer and how to extend
+each.
 """
 
 from repro.core import (
     BoolUnbiasedSize,
+    EpochEstimate,
     EstimationResult,
     HDUnbiasedAgg,
     HDUnbiasedSize,
     ParallelSession,
+    RestartEstimator,
     RoundEstimate,
+    RSReissueEstimator,
+    TrackResult,
+    track,
 )
 from repro.hidden_db import (
     Attribute,
@@ -40,6 +49,7 @@ from repro.hidden_db import (
     OnlineFormSimulator,
     QueryCounter,
     Schema,
+    TableDelta,
     TopKInterface,
 )
 
@@ -52,10 +62,16 @@ __all__ = [
     "EstimationResult",
     "RoundEstimate",
     "ParallelSession",
+    "RSReissueEstimator",
+    "RestartEstimator",
+    "EpochEstimate",
+    "TrackResult",
+    "track",
     "Attribute",
     "Schema",
     "ConjunctiveQuery",
     "HiddenTable",
+    "TableDelta",
     "TopKInterface",
     "HiddenDBClient",
     "QueryCounter",

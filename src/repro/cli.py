@@ -7,6 +7,15 @@ Examples::
     hiddendb-repro run fig14 --scale tiny --seed 3
     hiddendb-repro run all --full
     hiddendb-repro estimate --dataset yahoo --m 20000 --rounds 20
+    hiddendb-repro track --epochs 5 --churn 0.05 --policy reissue
+
+``track`` follows a *dynamic* database across mutation epochs: each epoch
+churns the dataset (seeded inserts/deletes/modifications at ``--churn``
+rate) and re-estimates its size, either by reissuing a seeded subset of
+prior drill downs (``--policy reissue``, the RS-style tracker — cheap) or
+by restarting HD-UNBIASED-SIZE from scratch (``--policy restart`` — the
+baseline).  Output is one line per epoch (estimate, truth, queries paid)
+and is independent of ``--workers``.
 """
 
 from __future__ import annotations
@@ -62,6 +71,41 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--workers", type=int, default=1,
                      help="fan rounds out over N workers (ParallelSession; "
                           "results are worker-count independent)")
+
+    trk = sub.add_parser(
+        "track",
+        help="track the size of a churning (dynamic) database across epochs",
+    )
+    trk.add_argument("--dataset", choices=["iid", "mixed", "yahoo"], default="yahoo")
+    trk.add_argument("--m", type=int, default=20_000)
+    trk.add_argument("--k", type=int, default=100)
+    trk.add_argument("--epochs", type=int, default=5,
+                     help="estimation epochs (epoch 0 = initial DB; each "
+                          "later epoch applies one churn step first)")
+    trk.add_argument("--churn", type=float, default=0.05,
+                     help="per-epoch churn rate (fraction of tuples touched, "
+                          "split between inserts/deletes/modifications)")
+    trk.add_argument("--policy", choices=["reissue", "restart"],
+                     default="reissue",
+                     help="reissue = RS-style drill-down reissue; restart = "
+                          "fresh HD-UNBIASED-SIZE every epoch (baseline)")
+    trk.add_argument("--rounds", type=int, default=32,
+                     help="round pool size (reissue) / rounds per epoch (restart)")
+    trk.add_argument("--reissue", type=int, default=None,
+                     help="rounds reissued per epoch (reissue policy only; "
+                          "default: rounds // 4)")
+    trk.add_argument("--epoch-budget", type=int, default=None,
+                     help="per-epoch query cap (reissue policy only; shrinks "
+                          "the reissue subset using past epochs' costs)")
+    trk.add_argument("--seed", type=int, default=0)
+    trk.add_argument("--churn-seed", type=int, default=0,
+                     help="separate seed pinning the database evolution")
+    trk.add_argument("--backend", choices=sorted(available_backends()),
+                     default="scan")
+    trk.add_argument("--workers", type=int, default=1,
+                     help="per-epoch round fan-out (output is worker-count "
+                          "independent)")
+    trk.add_argument("--json", action="store_true", help="emit JSON")
 
     tune = sub.add_parser(
         "tune", help="suggest (r, D_UB) for a budget (Section 5.1 pilots)"
@@ -120,6 +164,58 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_track(args) -> int:
+    from repro.core.dynamic import track
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.epochs < 1:
+        print(f"--epochs must be >= 1, got {args.epochs}", file=sys.stderr)
+        return 2
+    if args.policy == "restart" and (
+        args.reissue is not None or args.epoch_budget is not None
+    ):
+        print("--reissue/--epoch-budget only apply to --policy reissue "
+              "(the restart baseline pays its full round count each epoch)",
+              file=sys.stderr)
+        return 2
+    makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
+    table = makers[args.dataset](m=args.m, seed=args.seed)
+    try:
+        result = track(
+            table,
+            epochs=args.epochs,
+            churn=args.churn,
+            policy=args.policy,
+            k=args.k,
+            rounds=args.rounds,
+            reissue_per_epoch=args.reissue,  # None = library default
+            epoch_query_budget=args.epoch_budget,
+            seed=args.seed,
+            churn_seed=args.churn_seed,
+            workers=args.workers,
+            backend=args.backend,
+        )
+    except ValueError as exc:
+        # Parameter validation from the estimators/churn generator
+        # (e.g. --rounds 1, --reissue 0, --churn -0.1).
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict()))
+        return 0
+    print(f"dataset={args.dataset} m0={args.m} k={args.k} churn={args.churn} "
+          f"policy={args.policy} backend={args.backend} workers={args.workers}")
+    for e in result.epochs:
+        rel = f"{100 * e.relative_error:5.1f}%" if e.truth else "   n/a"
+        print(f"epoch {e.epoch:>3}  version {e.version:>3}  "
+              f"estimate {e.estimate:>12,.1f}  truth {e.truth:>10,.0f}  "
+              f"err {rel}  queries {e.cost:>6}  reissued {e.reissued}")
+    print(f"total queries: {result.total_cost}")
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.core import suggest_parameters
 
@@ -147,6 +243,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "estimate":
         return _cmd_estimate(args)
+    if args.command == "track":
+        return _cmd_track(args)
     if args.command == "tune":
         return _cmd_tune(args)
     raise AssertionError("unreachable")

@@ -9,6 +9,13 @@
 
 from repro.core.divide_conquer import MassFunction, TreeEstimate, estimate_tree
 from repro.core.drilldown import Walker, WalkKind, WalkOutcome, WalkStep
+from repro.core.dynamic import (
+    EpochEstimate,
+    RestartEstimator,
+    RSReissueEstimator,
+    TrackResult,
+    track,
+)
 from repro.core.engine import ParallelSession, merge_rounds
 from repro.core.estimators import (
     BoolUnbiasedSize,
@@ -47,6 +54,11 @@ __all__ = [
     "WalkStep",
     "ParallelSession",
     "merge_rounds",
+    "RSReissueEstimator",
+    "RestartEstimator",
+    "EpochEstimate",
+    "TrackResult",
+    "track",
     "WeightStore",
     "UniformWeights",
     "OracleWeights",

@@ -152,17 +152,21 @@ class ParallelSession:
         master = spawn_rng(self.seed)
         return [int(master.integers(0, 2**63 - 1)) for _ in range(rounds)]
 
-    def run(self, rounds: int) -> "object":
-        """Execute *rounds* independent rounds and merge them.
+    def run_rounds(self, seeds: List[int]) -> List[Tuple]:
+        """Execute one round per seed and return ``(estimate, stats)`` pairs.
 
-        Returns the same :class:`~repro.core.estimators.EstimationResult` a
-        sequential session produces; ``client_stats`` on the session holds
-        the merged per-round cache/cost reports afterwards.
+        This is the engine's fan-out primitive: the caller supplies the
+        exact per-round seeds (in order), the pool executes them on
+        ``workers`` threads/processes, and the outcomes come back **in seed
+        order** regardless of scheduling — the worker-count-invariance
+        contract in its rawest form.  ``run`` layers the session-seed
+        derivation and result merging on top; the dynamic-database
+        estimators (:mod:`repro.core.dynamic`) call this directly with
+        their stored round seeds to reissue specific prior rounds.
         """
-        if rounds < 1:
-            raise ValueError(f"rounds must be >= 1, got {rounds}")
-        seeds = self.round_seeds(rounds)
-        outcomes: List[Optional[Tuple]] = [None] * rounds
+        if not seeds:
+            return []
+        outcomes: List[Optional[Tuple]] = [None] * len(seeds)
         if self.workers == 1:
             for i, seed in enumerate(seeds):
                 outcomes[i] = _run_round(self.factory, seed)
@@ -178,6 +182,18 @@ class ParallelSession:
                 }
                 for future, i in futures.items():
                     outcomes[i] = future.result()
+        return outcomes
+
+    def run(self, rounds: int) -> "object":
+        """Execute *rounds* independent rounds and merge them.
+
+        Returns the same :class:`~repro.core.estimators.EstimationResult` a
+        sequential session produces; ``client_stats`` on the session holds
+        the merged per-round cache/cost reports afterwards.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        outcomes = self.run_rounds(self.round_seeds(rounds))
         per_round = [outcome[0] for outcome in outcomes]
         self.client_stats = _sum_reports([outcome[1] for outcome in outcomes])
         statistic = self.statistic

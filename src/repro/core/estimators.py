@@ -116,7 +116,7 @@ class _RoundFactory:
         self.template = template
 
     def __call__(self, seed: int) -> "_DrillDownEstimator":
-        return self.template._spawn(self.template._clone_client(), seed)
+        return self.template._spawn(self.template._clone_client(seed), seed)
 
 
 class _DrillDownEstimator:
@@ -182,16 +182,25 @@ class _DrillDownEstimator:
 
     # -- parallel-session support -----------------------------------------
 
-    def _clone_client(self) -> HiddenDBClient:
+    def _clone_client(self, seed: RandomSource = None) -> HiddenDBClient:
         """A fresh client (own cache, own counter) over the same table.
 
-        Parallel rounds must not share mutable state; only the read-only
-        table (and its backend) is reused.  Wrapped interfaces (flaky /
-        online simulators) carry cross-query state and cannot be cloned.
+        Parallel rounds must not share mutable state; only the shared
+        table (and its backend) is reused.  A :class:`FlakyInterface`
+        wrapper *can* be cloned: each round gets a fresh failure stream
+        derived from the round *seed*, so the injected failures — and the
+        charges they may incur — are a function of the round alone, never
+        of worker scheduling.  Other wrapped interfaces (online
+        simulators) carry cross-query state and cannot be cloned.
         """
+        from repro.hidden_db.flaky import FlakyInterface
         from repro.hidden_db.interface import TopKInterface
 
         interface = self.client.interface
+        flaky: Optional[FlakyInterface] = None
+        if isinstance(interface, FlakyInterface):
+            flaky = interface
+            interface = interface.interface
         if not isinstance(interface, TopKInterface):
             raise ValueError(
                 f"cannot clone a client over {type(interface).__name__}; "
@@ -214,6 +223,20 @@ class _DrillDownEstimator:
             ranking=interface.ranking,
             counter=QueryCounter(),
         )
+        if flaky is not None:
+            # Independent per-round failure stream, fixed by the round
+            # seed (the salt decouples it from the walk RNG stream).
+            failure_seed = int(
+                np.random.default_rng(
+                    [0xF1A4 if seed is None else int(seed) & (2**63 - 1), 0xF1A4]
+                ).integers(0, 2**63 - 1)
+            )
+            fresh = FlakyInterface(
+                fresh,
+                failure_rate=flaky.failure_rate,
+                charge_failures=flaky.charge_failures,
+                seed=failure_seed,
+            )
         return HiddenDBClient(
             fresh,
             cache=self.client._use_cache,

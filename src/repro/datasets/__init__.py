@@ -1,5 +1,10 @@
-"""Dataset generators: the paper's synthetic and real-world-like workloads."""
+"""Dataset generators: the paper's synthetic and real-world-like workloads.
 
+:mod:`repro.datasets.churn` turns any of them *dynamic*: seeded per-epoch
+insert/delete/modify streams over an existing table.
+"""
+
+from repro.datasets.churn import ChurnGenerator, apply_churn
 from repro.datasets.special import running_example, worst_case
 from repro.datasets.synthetic import (
     bool_iid,
@@ -18,6 +23,8 @@ from repro.datasets.yahoo_auto import (
 )
 
 __all__ = [
+    "ChurnGenerator",
+    "apply_churn",
     "bool_iid",
     "bool_mixed",
     "bool_mixed_probabilities",

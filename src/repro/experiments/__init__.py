@@ -6,6 +6,7 @@ from repro.experiments.harness import (
     MetricsAtCost,
     agg_factory,
     capture_recapture_factory,
+    collect_epoch_trajectories,
     collect_trajectories,
     hd_size_factory,
     metrics_at_costs,
@@ -27,6 +28,7 @@ __all__ = [
     "FigureResult",
     "MetricsAtCost",
     "collect_trajectories",
+    "collect_epoch_trajectories",
     "metrics_at_costs",
     "hd_size_factory",
     "agg_factory",

@@ -28,6 +28,7 @@ __all__ = [
     "MetricsAtCost",
     "TrajectoryFactory",
     "collect_trajectories",
+    "collect_epoch_trajectories",
     "metrics_at_costs",
     "hd_size_factory",
     "agg_factory",
@@ -70,6 +71,60 @@ def collect_trajectories(
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(factory, seeds))
     return [factory(seed) for seed in seeds]
+
+
+def collect_epoch_trajectories(
+    table_factory: Callable[[], "HiddenTable"],
+    replications: int,
+    base_seed: int,
+    *,
+    epochs: int,
+    churn: float = 0.05,
+    churn_seed: int = 0,
+    policy: str = "reissue",
+    workers: int = 1,
+    **track_kwargs,
+) -> List["TrackResult"]:
+    """Run *replications* independent dynamic tracking sessions.
+
+    The dynamic analogue of :func:`collect_trajectories`.  Every
+    replication rebuilds its own table from *table_factory* and replays
+    the **same** churn stream (fixed *churn_seed*), so the database
+    evolution — and with it the per-epoch ground truth — is identical
+    across replications, while each replication's estimator runs with its
+    own seed (derived from *base_seed* and the replication index).  That
+    layout is exactly what the per-epoch unbiasedness experiments need:
+    the replication mean at epoch t must match the fixed truth at epoch t.
+
+    ``workers`` fans *replications* over a thread pool; the returned
+    trajectories are identical to a sequential run (same seeds, same
+    order) regardless of the pool size.  Round-level fan-out inside a
+    single tracking session is a different knob that this helper does not
+    expose (replication-level parallelism is the better use of cores
+    here); call :func:`repro.core.dynamic.track` directly for that.
+    """
+    from repro.core.dynamic import track
+
+    if replications < 1:
+        raise ValueError("need at least one replication")
+
+    def one_replication(seed: int) -> "TrackResult":
+        table = table_factory()
+        return track(
+            table,
+            epochs=epochs,
+            churn=churn,
+            churn_seed=churn_seed,
+            policy=policy,
+            seed=seed,
+            **track_kwargs,
+        )
+
+    seeds = [base_seed + 7919 * i for i in range(replications)]
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(one_replication, seeds))
+    return [one_replication(seed) for seed in seeds]
 
 
 def metrics_at_costs(

@@ -25,9 +25,11 @@ from repro.hidden_db.discretize import (
 from repro.hidden_db.exceptions import (
     HiddenDBError,
     InvalidQueryError,
+    MutationError,
     QueryLimitExceeded,
     QueryRejected,
     SchemaError,
+    StaleResultError,
 )
 from repro.hidden_db.flaky import FlakyInterface, TransientServerError
 from repro.hidden_db.interface import (
@@ -46,12 +48,14 @@ from repro.hidden_db.ranking import (
 )
 from repro.hidden_db.schema import Attribute, Schema
 from repro.hidden_db.table import HiddenTable
+from repro.hidden_db.versioning import TableDelta
 
 __all__ = [
     "Attribute",
     "Schema",
     "ConjunctiveQuery",
     "HiddenTable",
+    "TableDelta",
     "SelectionBackend",
     "NaiveScanBackend",
     "BitmapIndexBackend",
@@ -81,6 +85,8 @@ __all__ = [
     "InvalidQueryError",
     "QueryLimitExceeded",
     "QueryRejected",
+    "StaleResultError",
+    "MutationError",
     "FlakyInterface",
     "TransientServerError",
 ]

@@ -10,16 +10,34 @@ engines) never touches estimator code.
 Backends register themselves under a short name (``"scan"``, ``"bitmap"``)
 via :func:`register_backend`; :func:`make_backend` resolves a name, a class
 or a ready instance into a backend bound to one table's arrays.
+
+Version awareness
+-----------------
+Tables mutate across epochs (:meth:`HiddenTable.apply_updates`).  After a
+mutation the table calls ``rebind(data, measures, alive, delta)`` on its
+backend: *data*/*measures* are the post-update physical arrays, *alive*
+the tombstone mask, and *delta* a
+:class:`~repro.hidden_db.versioning.TableDelta` naming exactly which
+physical rows changed.  A backend may honour the delta incrementally
+(:class:`BitmapIndexBackend` patches its masks in O(churn)) or simply
+invalidate memoised state and re-derive lazily
+(:class:`NaiveScanBackend`).  Backends without a ``rebind`` method are
+rebuilt from scratch by the table, provided their constructor accepts the
+``alive`` tombstone mask (or no tombstones exist yet); an alive-unaware
+backend facing deleted rows is refused outright rather than allowed to
+silently resurrect them — correctness never depends on opting in.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Protocol, Type, Union, runtime_checkable
+import inspect
+from typing import Callable, Dict, Mapping, Optional, Protocol, Type, Union, runtime_checkable
 
 import numpy as np
 
 from repro.hidden_db.exceptions import SchemaError
 from repro.hidden_db.query import ConjunctiveQuery
+from repro.hidden_db.versioning import TableDelta
 
 __all__ = [
     "SelectionBackend",
@@ -59,6 +77,25 @@ class SelectionBackend(Protocol):
         """Drop any memoised state (a no-op for stateless backends)."""
         ...
 
+    def rebind(
+        self,
+        data: np.ndarray,
+        measures: Mapping[str, np.ndarray],
+        alive: np.ndarray,
+        delta: Optional[TableDelta] = None,
+    ) -> None:
+        """Adopt the post-mutation arrays of the owning table.
+
+        Called once per :meth:`HiddenTable.apply_updates` epoch.  With a
+        *delta*, every physical row outside its id sets is promised
+        unchanged, so the backend may update indexes incrementally; with
+        ``delta=None`` (or an inapplicable one) it must fully re-derive.
+        After ``rebind`` the backend must answer exactly like a freshly
+        built backend over the live rows — the across-epoch equivalence
+        property tests assert this.
+        """
+        ...
+
 
 #: Anything :func:`make_backend` can resolve.
 BackendLike = Union[str, SelectionBackend, Type["SelectionBackend"]]
@@ -90,15 +127,24 @@ def make_backend(
     spec: BackendLike,
     data: np.ndarray,
     measures: Mapping[str, np.ndarray],
+    alive: Optional[np.ndarray] = None,
     **options,
 ) -> "SelectionBackend":
     """Resolve *spec* into a backend bound to ``(data, measures)``.
 
     *spec* may be a registered name, a backend class, or an already-built
     instance (returned unchanged — the caller vouches it matches the table).
-    Unknown names raise :class:`~repro.hidden_db.exceptions.SchemaError`
-    listing the registered alternatives.
+    *alive* is the table's tombstone mask; ``None`` (or an all-true mask)
+    means every physical row is live — the common case for freshly built
+    tables.  A backend whose constructor does not accept ``alive`` can
+    only be built while no tombstones exist: silently handing it the full
+    physical arrays would resurrect deleted rows, so that case raises
+    instead.  Unknown names raise
+    :class:`~repro.hidden_db.exceptions.SchemaError` listing the
+    registered alternatives.
     """
+    if alive is not None and bool(alive.all()):
+        alive = None  # no tombstones: every backend can serve this
     if isinstance(spec, str):
         try:
             cls = _REGISTRY[spec]
@@ -107,7 +153,45 @@ def make_backend(
                 f"unknown selection backend {spec!r}; available: "
                 f"{list(available_backends())}"
             ) from None
-        return cls(data, measures, **options)
-    if isinstance(spec, type):
-        return spec(data, measures, **options)
-    return spec
+    elif isinstance(spec, type):
+        cls = spec
+    else:
+        if alive is not None:
+            # A pre-built instance was constructed without the tombstone
+            # mask; handing it out over a table with deleted rows would
+            # resurrect them.  The caller must build from name/class (so
+            # the mask can be injected) or pass a rebind-aware instance
+            # through the table's mutation path instead.
+            raise SchemaError(
+                f"cannot bind the pre-built backend instance "
+                f"{type(spec).__name__!r} to a table with deleted rows; "
+                "pass the backend name or class so the alive mask can be "
+                "applied"
+            )
+        return spec
+    if alive is not None:
+        if not _accepts_alive(cls):
+            raise SchemaError(
+                f"backend {getattr(cls, 'name', cls.__name__)!r} does not "
+                "accept an 'alive' tombstone mask; it cannot serve a table "
+                "with deleted rows (implement rebind()/alive= to support "
+                "mutation)"
+            )
+        options["alive"] = alive
+    return cls(data, measures, **options)
+
+
+def _accepts_alive(ctor) -> bool:
+    """True when *ctor* declares an explicit ``alive`` parameter.
+
+    A bare ``**kwargs`` is *not* accepted as evidence: a constructor that
+    swallows ``alive`` without honouring it would be rebuilt over the full
+    physical arrays and silently resurrect deleted rows, which is exactly
+    what this guard exists to prevent.  Supporting mutation requires
+    naming the parameter (or implementing ``rebind``).
+    """
+    try:
+        parameters = inspect.signature(ctor).parameters.values()
+    except (TypeError, ValueError):  # uninspectable C-level callable
+        return False
+    return any(p.name == "alive" for p in parameters)

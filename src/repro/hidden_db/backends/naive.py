@@ -5,17 +5,23 @@ memoising every intermediate prefix so the sibling probes of a drill down
 cost O(|parent match|) instead of O(m).  This is the default backend: it
 needs no precomputation and its prefix cache fits drill-down workloads
 (each query extends its parent by one predicate) perfectly.
+
+On table mutation (``rebind``) the prefix cache is invalidated wholesale:
+cached id arrays were computed against the previous epoch and narrowing is
+re-derived lazily from the new live-row set, so no index maintenance is
+needed — invalidation *is* the scan backend's change-awareness.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.hidden_db.backends.base import register_backend
 from repro.hidden_db.exceptions import SchemaError
 from repro.hidden_db.query import ConjunctiveQuery
+from repro.hidden_db.versioning import TableDelta
 
 __all__ = ["NaiveScanBackend"]
 
@@ -33,6 +39,10 @@ class NaiveScanBackend:
     max_cached_queries:
         Cache-size bound; on overflow the oldest ~25% of entries are
         dropped (dict preserves insertion order).
+    alive:
+        Tombstone mask over the physical rows (``None`` = all live).
+        Narrowing starts from the live ids, so dead rows can never appear
+        in any selection.
     """
 
     def __init__(
@@ -40,12 +50,21 @@ class NaiveScanBackend:
         data: np.ndarray,
         measures: Mapping[str, np.ndarray],
         max_cached_queries: int = 2_000_000,
+        alive: Optional[np.ndarray] = None,
     ) -> None:
         self._data = data
         self._measures = dict(measures)
         self._max_cached_queries = max_cached_queries
         self._selection_cache: Dict[frozenset, np.ndarray] = {}
-        self._all_rows = np.arange(data.shape[0], dtype=np.int64)
+        self._all_rows = self._live_rows(data, alive)
+        #: Number of whole-cache invalidations caused by table mutation.
+        self.cache_invalidations = 0
+
+    @staticmethod
+    def _live_rows(data: np.ndarray, alive: Optional[np.ndarray]) -> np.ndarray:
+        if alive is None or bool(alive.all()):
+            return np.arange(data.shape[0], dtype=np.int64)
+        return np.flatnonzero(alive).astype(np.int64, copy=False)
 
     def selection_ids(self, query: ConjunctiveQuery) -> np.ndarray:
         """Row ids of Sel(q), sorted ascending.
@@ -94,6 +113,25 @@ class NaiveScanBackend:
         """Drop all memoised selections (mainly for memory-bound tests)."""
         self._selection_cache.clear()
 
+    def rebind(
+        self,
+        data: np.ndarray,
+        measures: Mapping[str, np.ndarray],
+        alive: np.ndarray,
+        delta: Optional[TableDelta] = None,
+    ) -> None:
+        """Adopt post-mutation arrays; invalidate every memoised prefix.
+
+        The scan backend keeps no index, so the only stale state is the
+        prefix cache — one O(1) ``clear`` plus rebuilding the live-row
+        base set makes the next narrowing correct for the new epoch.
+        """
+        self._data = data
+        self._measures = dict(measures)
+        self._selection_cache.clear()
+        self._all_rows = self._live_rows(data, alive)
+        self.cache_invalidations += 1
+
     def _cache_put(self, key: frozenset, ids: np.ndarray) -> None:
         if len(self._selection_cache) >= self._max_cached_queries:
             # Evict the oldest ~25% (dict preserves insertion order).  pop()
@@ -106,6 +144,6 @@ class NaiveScanBackend:
 
     def __repr__(self) -> str:
         return (
-            f"NaiveScanBackend(m={self._data.shape[0]}, "
+            f"NaiveScanBackend(m={self._all_rows.size}, "
             f"cached={len(self._selection_cache)})"
         )

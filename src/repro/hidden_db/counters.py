@@ -105,8 +105,10 @@ class HiddenDBClient:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.stale_evictions = 0
         self.retries = retries
         self.retries_performed = 0
+        self._cached_version = self._interface_version()
 
     # -- identity of the underlying form --------------------------------
 
@@ -134,6 +136,26 @@ class HiddenDBClient:
 
     # -- querying --------------------------------------------------------
 
+    def _interface_version(self) -> int:
+        """Current mutation epoch of the underlying form (0 when static)."""
+        return int(getattr(self.interface, "version", 0))
+
+    def _evict_stale(self) -> None:
+        """Drop every cached page computed at an older table version.
+
+        Cache entries are only ever stored for the version they were
+        answered at, so a version change stales the *whole* cache: the
+        entries are counted as stale evictions and dropped wholesale.
+        Hit/miss counters are untouched — unlike :meth:`clear_cache`, this
+        is an invalidation event, not a session reset.
+        """
+        version = self._interface_version()
+        if version == self._cached_version:
+            return
+        self.stale_evictions += len(self._cache)
+        self._cache.clear()
+        self._cached_version = version
+
     def query(self, q: ConjunctiveQuery, count_only: bool = False) -> "QueryResult":
         """Submit *q*, serving it from cache when possible.
 
@@ -147,10 +169,17 @@ class HiddenDBClient:
         materialisation.  The charge and the cache entry are identical
         either way, so mixing count-only and full asks of the same query
         never costs an extra submission.
+
+        Cached pages are keyed to the table version they were answered at:
+        when the underlying table has mutated since, the stale entries are
+        evicted (counted in ``cache_info()['stale_evictions']``) and the
+        query is re-charged against the live database — a stale page is
+        never served.
         """
         from repro.hidden_db.flaky import TransientServerError
 
         if self._use_cache:
+            self._evict_stale()
             hit = self._cache.get(q.key)
             if hit is not None:
                 self.cache_hits += 1
@@ -166,7 +195,9 @@ class HiddenDBClient:
                 if attempt + 1 >= attempts:
                     raise
                 self.retries_performed += 1
-        if self._use_cache:
+        if self._use_cache and self._interface_version() == self._cached_version:
+            # (The version guard drops a page answered mid-mutation instead
+            # of caching it under the wrong epoch.)
             self._cache[q.key] = result
             self._cache.move_to_end(q.key)
             if (
@@ -179,7 +210,11 @@ class HiddenDBClient:
 
     def is_cached(self, q: ConjunctiveQuery) -> bool:
         """True when *q* would be answered without charging the server."""
-        return self._use_cache and q.key in self._cache
+        if not self._use_cache:
+            return False
+        if self._interface_version() != self._cached_version:
+            return False  # everything cached is stale
+        return q.key in self._cache
 
     def clear_cache(self) -> None:
         """Drop the client cache (simulates a fresh session)."""
@@ -187,15 +222,25 @@ class HiddenDBClient:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self.stale_evictions = 0
+        self._cached_version = self._interface_version()
 
     def cache_info(self) -> Dict[str, Optional[int]]:
-        """Hit/miss/eviction statistics of the result cache."""
+        """Hit/miss/eviction statistics of the result cache.
+
+        ``evictions`` counts LRU capacity evictions; ``stale_evictions``
+        counts entries dropped because the underlying table moved to a new
+        version (mutation epochs); ``version`` is the epoch the current
+        entries belong to.
+        """
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "evictions": self.cache_evictions,
+            "stale_evictions": self.stale_evictions,
             "entries": len(self._cache),
             "capacity": self.max_cache_entries,
+            "version": self._cached_version,
         }
 
     def report(self) -> Dict[str, float]:
@@ -212,6 +257,7 @@ class HiddenDBClient:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "cache_stale_evictions": self.stale_evictions,
             "cache_entries": len(self._cache),
             "hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
             "retries_performed": self.retries_performed,

@@ -8,6 +8,8 @@ __all__ = [
     "InvalidQueryError",
     "QueryLimitExceeded",
     "QueryRejected",
+    "StaleResultError",
+    "MutationError",
 ]
 
 
@@ -36,4 +38,24 @@ class QueryRejected(HiddenDBError):
 
     Mirrors the Yahoo! Auto advanced-search requirement that either
     MAKE/MODEL or ZIP must be specified.
+    """
+
+
+class StaleResultError(HiddenDBError):
+    """A lazy result page was materialised after the table mutated.
+
+    A :class:`~repro.hidden_db.interface.QueryResult` whose tuples were
+    never read is re-derived from the *current* table state on first
+    access; once the table has moved to a newer version that re-derivation
+    would silently mix epochs, so it is refused instead.  Materialise pages
+    before applying updates, or re-issue the query.
+    """
+
+
+class MutationError(HiddenDBError):
+    """An ``apply_updates`` batch is inconsistent with the current table.
+
+    Raised for dead/out-of-range row ids, conflicting delete+modify
+    targets, out-of-domain values, or (with duplicate checking enabled)
+    updates that would introduce duplicate tuples.
     """

@@ -83,8 +83,35 @@ class FlakyInterface:
         """Counter of the wrapped form."""
         return self.interface.counter
 
+    @property
+    def version(self) -> int:
+        """Mutation epoch of the wrapped form (version metadata passthrough).
+
+        Without this forwarding a client wrapping a flaky form would see a
+        constant version and happily serve result pages cached before a
+        table mutation — flakiness must never weaken cache invalidation.
+        """
+        return int(getattr(self.interface, "version", 0))
+
+    @property
+    def total_issued(self):
+        """Lifetime charge total of the wrapped form, when it tracks one.
+
+        :class:`~repro.hidden_db.online.OnlineFormSimulator` counts charges
+        per *day* in ``counter`` and keeps the lifetime total separately;
+        forwarding it keeps :attr:`HiddenDBClient.cost` monotone when the
+        flaky wrapper sits between the client and such a form.  ``None``
+        when the wrapped form has no lifetime counter (plain interfaces).
+        """
+        return getattr(self.interface, "total_issued", None)
+
     def query(self, q: ConjunctiveQuery, count_only: bool = False) -> QueryResult:
-        """Submit *q*, possibly failing transiently."""
+        """Submit *q*, possibly failing transiently.
+
+        ``count_only`` and all version metadata pass through unchanged —
+        the wrapper only injects failures, it never alters the contract of
+        the wrapped form.
+        """
         if self._rng.random() < self.failure_rate:
             self.failures_injected += 1
             if self.charge_failures:

@@ -24,7 +24,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.hidden_db.counters import QueryCounter
-from repro.hidden_db.exceptions import InvalidQueryError
+from repro.hidden_db.exceptions import InvalidQueryError, StaleResultError
 from repro.hidden_db.query import ConjunctiveQuery
 from repro.hidden_db.ranking import RankingFunction, StaticScoreRanking
 from repro.hidden_db.table import HiddenTable
@@ -181,6 +181,15 @@ class TopKInterface:
         """The table schema (forms publish their fields)."""
         return self.table.schema
 
+    @property
+    def version(self) -> int:
+        """Mutation epoch of the backing table.
+
+        Clients key their result caches on this: a page computed at an
+        older version is *stale* and must never be served again.
+        """
+        return getattr(self.table, "version", 0)
+
     def query(self, q: ConjunctiveQuery, count_only: bool = False) -> QueryResult:
         """Submit *q* through the form and return the result page.
 
@@ -213,10 +222,11 @@ class TopKInterface:
         else:
             outcome = QueryOutcome.OVERFLOW
             num_returned = self.k
+        version = self.version
         result = QueryResult(
             outcome,
             num_returned=num_returned,
-            materializer=lambda: self._materialize_page(q, outcome),
+            materializer=lambda: self._materialize_page(q, outcome, version),
         )
         if not count_only:
             # Eager path: build the page now (the classic interface
@@ -225,9 +235,18 @@ class TopKInterface:
         return result
 
     def _materialize_page(
-        self, q: ConjunctiveQuery, outcome: QueryOutcome
+        self, q: ConjunctiveQuery, outcome: QueryOutcome, version: int
     ) -> Tuple[ReturnedTuple, ...]:
-        """Build the displayed tuples of an already-classified page."""
+        """Build the displayed tuples of an already-classified page.
+
+        The page was classified at *version*; re-deriving it after the
+        table has mutated would silently mix epochs, so it is refused.
+        """
+        if self.version != version:
+            raise StaleResultError(
+                f"page classified at table version {version} materialised "
+                f"at version {self.version}; re-issue the query"
+            )
         ids = self.table.selection_ids(q)
         if outcome is QueryOutcome.VALID:
             shown = np.sort(ids)

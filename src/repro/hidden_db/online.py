@@ -66,6 +66,11 @@ class OnlineFormSimulator:
         """Counter of queries charged *today*."""
         return self._today
 
+    @property
+    def version(self) -> int:
+        """Mutation epoch of the underlying form (live sites churn daily)."""
+        return int(getattr(self.interface, "version", 0))
+
     def query(self, q: ConjunctiveQuery, count_only: bool = False) -> QueryResult:
         """Submit a query, enforcing form rules and the daily quota."""
         if self.required_attributes and not any(

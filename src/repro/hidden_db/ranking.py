@@ -45,6 +45,12 @@ class StaticScoreRanking:
     Mimics a proprietary static ranking (e.g. freshness/popularity) that the
     client cannot predict.  The score is drawn once per table size from a
     seeded RNG, so results are reproducible.
+
+    Scores are indexed by *physical* row id, so they survive table
+    mutation: surviving tuples keep their score across epochs (numpy's
+    ``Generator.random`` is prefix-stable for a fixed seed, so regrowing
+    the score array for appended rows never reshuffles existing scores)
+    and freshly inserted tuples draw the next scores in the stream.
     """
 
     def __init__(self, seed: RandomSource = 20100608) -> None:
@@ -53,10 +59,11 @@ class StaticScoreRanking:
         self._size = -1
 
     def _scores_for(self, table) -> np.ndarray:
-        if self._scores is None or self._size != table.num_tuples:
+        rows = int(getattr(table, "num_physical_rows", table.num_tuples))
+        if self._scores is None or self._size != rows:
             rng = spawn_rng(self._seed)
-            self._scores = rng.random(table.num_tuples)
-            self._size = table.num_tuples
+            self._scores = rng.random(rows)
+            self._size = rows
         return self._scores
 
     def order(self, row_ids: np.ndarray, table) -> np.ndarray:
@@ -72,6 +79,9 @@ class MeasureRanking:
         self.descending = descending
 
     def order(self, row_ids: np.ndarray, table) -> np.ndarray:
-        values = table.measure(self.measure)[row_ids]
+        # row_ids are physical ids, so the column must be physical too —
+        # table.measure() compacts to live rows once deletions exist.
+        physical = getattr(table, "measure_physical", table.measure)
+        values = np.asarray(physical(self.measure))[row_ids]
         keys = -values if self.descending else values
         return row_ids[np.argsort(keys, kind="stable")]

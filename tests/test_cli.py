@@ -40,6 +40,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_track_defaults(self):
+        args = build_parser().parse_args(["track"])
+        assert args.command == "track"
+        assert args.policy == "reissue"
+        assert args.epochs == 5
+        assert args.churn == pytest.approx(0.05)
+        assert args.reissue is None  # reissue-only knob, defaulted later
+        assert args.workers == 1
+
+    def test_track_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["track", "--policy", "magic"])
+
+    def test_track_invalid_estimator_params_exit_cleanly(self, capsys):
+        code = main(["track", "--dataset", "iid", "--m", "200", "--k", "20",
+                     "--epochs", "2", "--rounds", "1"])
+        assert code == 2
+        assert "rounds" in capsys.readouterr().err
+        code = main(["track", "--dataset", "iid", "--m", "200", "--k", "20",
+                     "--epochs", "2", "--churn", "-0.1"])
+        assert code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_track_rejects_reissue_knobs_with_restart(self, capsys):
+        assert main(["track", "--policy", "restart", "--reissue", "4"]) == 2
+        assert "reissue" in capsys.readouterr().err
+        assert main(["track", "--policy", "restart",
+                     "--epoch-budget", "100"]) == 2
+        assert "reissue" in capsys.readouterr().err
+
 
 class TestExecution:
     def test_list_prints_figures(self, capsys):
@@ -89,6 +119,40 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "workers=2" in out and "estimate=" in out
+
+    def test_track_command(self, capsys):
+        code = main([
+            "track", "--dataset", "iid", "--m", "500", "--k", "25",
+            "--epochs", "3", "--churn", "0.1", "--rounds", "8",
+            "--reissue", "3", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy=reissue" in out
+        assert out.count("epoch") == 3
+        assert "total queries:" in out
+
+    def test_track_json_and_worker_invariance(self, capsys):
+        base = ["track", "--dataset", "iid", "--m", "500", "--k", "25",
+                "--epochs", "3", "--churn", "0.1", "--rounds", "8",
+                "--reissue", "3", "--seed", "2", "--json"]
+        assert main(base + ["--workers", "1"]) == 0
+        one = json.loads(capsys.readouterr().out.strip())
+        assert main(base + ["--workers", "3"]) == 0
+        many = json.loads(capsys.readouterr().out.strip())
+        assert one == many  # worker-count invariance of the whole payload
+        assert one["policy"] == "reissue"
+        assert len(one["epochs"]) == 3
+        assert one["epochs"][1]["reissued"] == 3
+
+    def test_track_restart_policy(self, capsys):
+        code = main([
+            "track", "--dataset", "iid", "--m", "400", "--k", "25",
+            "--epochs", "2", "--policy", "restart", "--rounds", "6",
+            "--seed", "2",
+        ])
+        assert code == 0
+        assert "policy=restart" in capsys.readouterr().out
 
     def test_tune_command(self, capsys):
         code = main([

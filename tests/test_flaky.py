@@ -8,6 +8,7 @@ from repro.hidden_db import (
     ConjunctiveQuery,
     FlakyInterface,
     HiddenDBClient,
+    OnlineFormSimulator,
     TopKInterface,
     TransientServerError,
 )
@@ -66,6 +67,51 @@ class TestFlakyInterface:
             FlakyInterface(TopKInterface(table, 10), failure_rate=1.0)
 
 
+class TestPassthrough:
+    """The wrapper forwards everything the wrapped form exposes."""
+
+    def test_count_only_is_forwarded(self, table):
+        flaky = FlakyInterface(TopKInterface(table, 10), failure_rate=0.0)
+        page = flaky.query(ConjunctiveQuery(), count_only=True)
+        assert not page.is_materialized  # count_only reached the inner form
+
+    def test_version_metadata_is_forwarded(self, table):
+        inner = TopKInterface(table, 10)
+        flaky = FlakyInterface(inner, failure_rate=0.0)
+        assert flaky.version == inner.version == table.version
+
+    def test_stale_cache_eviction_works_through_the_wrapper(self):
+        mutable = boolean_table(120, [0.5] * 8, seed=4)
+        flaky = FlakyInterface(
+            TopKInterface(mutable, 10), failure_rate=0.0
+        )
+        client = HiddenDBClient(flaky)
+        query = ConjunctiveQuery().extended(0, 1)
+        client.query(query)
+        mutable.apply_updates(deletes=[0])
+        client.query(query)
+        assert client.cache_info()["stale_evictions"] >= 1
+        assert client.cost == 2  # re-charged, never served stale
+
+    def test_total_issued_forwarded_from_online_simulator(self, table):
+        simulator = OnlineFormSimulator(
+            TopKInterface(table, 10), daily_limit=100
+        )
+        flaky = FlakyInterface(simulator, failure_rate=0.0)
+        client = HiddenDBClient(flaky, cache=False)
+        client.query(ConjunctiveQuery())
+        client.query(ConjunctiveQuery().extended(0, 1))
+        simulator.advance_day()  # daily counter resets...
+        client.query(ConjunctiveQuery().extended(1, 1))
+        # ...but the client's cost keeps counting the lifetime total.
+        assert flaky.total_issued == 3
+        assert client.cost == 3
+
+    def test_plain_interface_has_no_total(self, table):
+        flaky = FlakyInterface(TopKInterface(table, 10), failure_rate=0.0)
+        assert flaky.total_issued is None
+
+
 class TestClientRetries:
     def test_retries_mask_transient_failures(self, table):
         client, flaky = flaky_client(table, rate=0.4, retries=10, seed=5)
@@ -110,3 +156,60 @@ class TestClientRetries:
         client, _ = flaky_client(table, rate=0.3, retries=100, seed=10)
         flaky_result = HDUnbiasedSize(client, r=3, dub=16, seed=9).run(rounds=10)
         assert flaky_result.estimates == reliable.estimates
+
+
+class TestFlakyParallelSessions:
+    """Regression: flaky retries × ParallelSession workers.
+
+    A FlakyInterface can now be cloned into parallel rounds: each round
+    derives its failure stream from the round seed, so the injected
+    failures — and any charges they incur — are a function of the round
+    alone.  Charge accounting must therefore be worker-count invariant.
+    """
+
+    def run_parallel(self, table, workers, charge_failures):
+        flaky = FlakyInterface(
+            TopKInterface(table, 10), failure_rate=0.25,
+            charge_failures=charge_failures, seed=3,
+        )
+        client = HiddenDBClient(flaky, retries=50)
+        estimator = HDUnbiasedSize(client, r=2, dub=16, seed=21)
+        session = estimator.parallel_session(workers, seed=77)
+        result = session.run(rounds=12)
+        return result, session.client_stats
+
+    @pytest.mark.parametrize("charge_failures", [False, True])
+    def test_worker_count_invariance_with_retries(self, table, charge_failures):
+        baseline, base_stats = self.run_parallel(table, 1, charge_failures)
+        for workers in (2, 4):
+            result, stats = self.run_parallel(table, workers, charge_failures)
+            assert result.estimates == baseline.estimates
+            assert result.total_cost == baseline.total_cost
+            assert stats["cost"] == base_stats["cost"]
+            assert stats["retries_performed"] == base_stats["retries_performed"]
+        # The failure injection actually exercised the retry path.
+        assert base_stats["retries_performed"] > 0
+
+    def test_charged_failures_increase_cost(self, table):
+        uncharged, _ = self.run_parallel(table, 2, charge_failures=False)
+        charged, _ = self.run_parallel(table, 2, charge_failures=True)
+        assert charged.total_cost > uncharged.total_cost
+        # The walks themselves are unaffected by charging policy.
+        assert charged.estimates == uncharged.estimates
+
+    def test_estimator_run_workers_kwarg(self, table):
+        # run(workers=N) over a flaky client no longer raises; any two
+        # pool sizes agree bit-for-bit.
+        results = []
+        for workers in (2, 3):
+            flaky = FlakyInterface(
+                TopKInterface(table, 10), failure_rate=0.2, seed=5
+            )
+            client = HiddenDBClient(flaky, retries=30)
+            results.append(
+                HDUnbiasedSize(client, r=2, dub=16, seed=13).run(
+                    rounds=8, workers=workers
+                )
+            )
+        assert results[0].estimates == results[1].estimates
+        assert results[0].total_cost == results[1].total_cost

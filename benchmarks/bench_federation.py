@@ -1,0 +1,156 @@
+"""Federated allocation-policy benchmark (emits ``BENCH_federation.json``).
+
+Compares the three budget-allocation policies on the standard 3-source
+heterogeneous federation — one big, skewed, restrictive-page source next
+to two smaller near-iid ones — at one matched global query budget:
+
+* **uniform** — equal budget per source (the oblivious baseline);
+* **cost_weighted** — budget proportional to observed per-round cost;
+* **neyman** — budget proportional to observed ``std x sqrt(cost)``, the
+  variance-optimal split the ISSUE's scheduler is named after.
+
+Every policy sees the identical federation and pays the identical total
+budget (pilot phase included), so MSE over replications is directly
+comparable.  The headline acceptance bars are:
+
+* ``neyman`` MSE at most ``NEYMAN_MSE_CEILING`` x the uniform MSE (< 1
+  means the adaptive scheduler wins at matched budget);
+* every policy's replication mean within ``UNBIASEDNESS_Z_BOUND``
+  standard errors of the true federated total (unbiasedness);
+* every policy's empirical 95% CI coverage at least ``COVERAGE_FLOOR``
+  (the variance-decomposition CI is honest).
+
+Runs standalone (``python benchmarks/bench_federation.py``) or under
+pytest; either way it writes ``BENCH_federation.json`` via the shared
+``_bench_utils`` conventions.
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _bench_utils import write_bench_json
+
+from repro.datasets.federation import heterogeneous_federation
+from repro.experiments.harness import collect_federated_runs
+
+NUM_SOURCES = 3
+BASE_M = 300
+N_ATTRS = 13
+K = 20
+BUDGET = 900
+PILOT_ROUNDS = 2
+REPLICATIONS = 200
+WORKERS = 4
+POLICIES = ("uniform", "cost_weighted", "neyman")
+
+#: neyman MSE must land at or below this fraction of uniform's.
+NEYMAN_MSE_CEILING = 0.85
+#: Replication-mean |z| bound per policy (unbiasedness of the total).
+UNBIASEDNESS_Z_BOUND = 3.0
+#: Empirical 95%-CI coverage floor per policy.
+COVERAGE_FLOOR = 0.85
+
+
+def run():
+    target = heterogeneous_federation(
+        num_sources=NUM_SOURCES,
+        base_m=BASE_M,
+        n_attrs=N_ATTRS,
+        k=K,
+        seed=5,
+    )
+    truth = target.true_total_size()
+    per_policy = {}
+    for policy in POLICIES:
+        runs = collect_federated_runs(
+            target,
+            REPLICATIONS,
+            base_seed=1000,
+            policy=policy,
+            query_budget=BUDGET,
+            pilot_rounds=PILOT_ROUNDS,
+            workers=WORKERS,
+        )
+        totals = np.array([result.total for result in runs])
+        se = float(totals.std(ddof=1) / np.sqrt(REPLICATIONS))
+        coverage = float(
+            np.mean([r.ci95[0] <= truth <= r.ci95[1] for r in runs])
+        )
+        mean_alloc = {
+            name: float(np.mean([r.allocations[name] for r in runs]))
+            for name in target.names
+        }
+        per_policy[policy] = {
+            "mean": float(totals.mean()),
+            "mse": float(np.mean((totals - truth) ** 2)),
+            "z": float((totals.mean() - truth) / se) if se else 0.0,
+            "coverage_95ci": coverage,
+            "mean_cost_units": float(
+                np.mean([r.total_cost_units for r in runs])
+            ),
+            "mean_allocations": mean_alloc,
+        }
+
+    neyman_vs_uniform = (
+        per_policy["neyman"]["mse"] / per_policy["uniform"]["mse"]
+    )
+    payload = {
+        "fixture": {
+            "sources": NUM_SOURCES,
+            "base_m": BASE_M,
+            "n_attrs": N_ATTRS,
+            "k": K,
+            "per_source_true_size": [s.true_size for s in target],
+            "truth": truth,
+        },
+        "budget": BUDGET,
+        "pilot_rounds": PILOT_ROUNDS,
+        "replications": REPLICATIONS,
+        "per_policy": per_policy,
+        "neyman_mse_over_uniform": float(neyman_vs_uniform),
+        "max_abs_z": float(
+            max(abs(stats["z"]) for stats in per_policy.values())
+        ),
+        "min_coverage": float(
+            min(stats["coverage_95ci"] for stats in per_policy.values())
+        ),
+    }
+    path = write_bench_json("federation", payload)
+    print(f"federation: {NUM_SOURCES} sources, truth {truth}, "
+          f"budget {BUDGET}, {REPLICATIONS} replications")
+    for policy, stats in per_policy.items():
+        print(f"  {policy:<14} mean {stats['mean']:8.1f}  "
+              f"mse {stats['mse']:9.0f}  z {stats['z']:+5.2f}  "
+              f"coverage {stats['coverage_95ci']:.2f}  "
+              f"spent {stats['mean_cost_units']:6.0f}")
+    print(f"neyman MSE / uniform MSE = {neyman_vs_uniform:.2f} "
+          f"(ceiling {NEYMAN_MSE_CEILING})")
+    print(f"wrote {path}")
+    return payload
+
+
+def _acceptable(payload) -> bool:
+    return (
+        payload["neyman_mse_over_uniform"] <= NEYMAN_MSE_CEILING
+        and payload["max_abs_z"] <= UNBIASEDNESS_Z_BOUND
+        and payload["min_coverage"] >= COVERAGE_FLOOR
+    )
+
+
+def test_federation_benchmark():
+    """Neyman must beat uniform at matched budget; CIs must cover."""
+    payload = run()
+    assert payload["neyman_mse_over_uniform"] <= NEYMAN_MSE_CEILING
+    assert payload["max_abs_z"] <= UNBIASEDNESS_Z_BOUND
+    assert payload["min_coverage"] >= COVERAGE_FLOOR
+
+
+if __name__ == "__main__":
+    result_payload = run()
+    ok = _acceptable(result_payload)
+    print(f"neyman<=ceiling, |z|<={UNBIASEDNESS_Z_BOUND}, coverage>="
+          f"{COVERAGE_FLOOR}: {'PASS' if ok else 'FAIL'}")
+    raise SystemExit(0 if ok else 1)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Federated quickstart: three hidden databases, one query budget.
+
+A crawler rarely faces one hidden database — it faces a federation
+(think one huge skewed marketplace next to smaller tame verticals) and a
+single global query budget to spend across all of them.  This example
+builds the standard heterogeneous fixture and runs
+``FederatedSizeEstimator`` under each allocation policy at the same
+budget:
+
+* ``uniform``       - equal budget per source, observes nothing;
+* ``cost_weighted`` - budget follows observed per-round cost;
+* ``neyman``        - budget follows observed std x sqrt(cost) — the
+                      variance-adaptive scheduler.
+
+Watch the allocations: neyman pours budget into the big noisy source
+(where a marginal query buys the most variance reduction) and the
+federated CI tightens for free.
+
+Run:  python examples/federated_showdown.py
+"""
+
+from repro.datasets.federation import heterogeneous_federation
+from repro.federation import FederatedSizeEstimator
+
+BUDGET = 2_000
+SEED = 7
+
+
+def main() -> None:
+    target = heterogeneous_federation(
+        num_sources=3, base_m=500, n_attrs=14, k=30, seed=SEED
+    )
+    truth = target.true_total_size()
+    print(f"Federation: {len(target)} sources, true total {truth:,}")
+    for source in target:
+        print(f"  {source.name:<12} m={source.true_size:>6,}  k={source.k}")
+    print(f"Global budget: {BUDGET} queries, shared by every policy\n")
+
+    for policy in ("uniform", "cost_weighted", "neyman"):
+        estimator = FederatedSizeEstimator(
+            target, policy=policy, pilot_rounds=3, seed=SEED
+        )
+        result = estimator.run(query_budget=BUDGET, workers=2)
+        err = 100 * abs(result.total - truth) / truth
+        alloc = ", ".join(
+            f"{name}={units}" for name, units in result.allocations.items()
+        )
+        print(f"{policy:<14} total {result.total:>9,.1f}  "
+              f"ci95 ({result.ci95[0]:>9,.1f}, {result.ci95[1]:>9,.1f})  "
+              f"err {err:4.1f}%")
+        print(f"{'':<14} allocations: {alloc}")
+    print("\nSame budget, different split: the adaptive policy narrows the")
+    print("CI by spending where the pilot rounds saw the most variance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,9 +23,14 @@ vectorised masks) and estimator rounds can be fanned out over a worker pool
 (:meth:`HiddenTable.apply_updates` + :mod:`repro.datasets.churn`) and
 :class:`repro.core.dynamic.RSReissueEstimator` tracks aggregates of a
 *churning* database by reissuing prior drill downs (``track`` on the CLI).
+Query budgets are first-class ledgers (:class:`repro.core.budget.QueryBudget`
+— round-granular leases settled in round order) so budget-bounded
+sessions parallelise deterministically, and :mod:`repro.federation`
+estimates totals across *many* hidden databases under one
+variance-adaptive budget scheduler (``federate`` on the CLI).
 ``ARCHITECTURE.md`` at the repository root documents the interface →
-backend → engine layering, the versioning/epoch layer and how to extend
-each.
+backend → engine layering, the versioning/epoch layer, the
+budget/federation scheduler and how to extend each.
 """
 
 from repro.core import (
@@ -35,11 +40,19 @@ from repro.core import (
     HDUnbiasedAgg,
     HDUnbiasedSize,
     ParallelSession,
+    QueryBudget,
     RestartEstimator,
     RoundEstimate,
     RSReissueEstimator,
     TrackResult,
     track,
+)
+from repro.federation import (
+    FederatedAggEstimator,
+    FederatedResult,
+    FederatedSizeEstimator,
+    FederatedSource,
+    FederatedTarget,
 )
 from repro.hidden_db import (
     Attribute,
@@ -53,7 +66,7 @@ from repro.hidden_db import (
     TopKInterface,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HDUnbiasedSize",
@@ -62,6 +75,12 @@ __all__ = [
     "EstimationResult",
     "RoundEstimate",
     "ParallelSession",
+    "QueryBudget",
+    "FederatedSource",
+    "FederatedTarget",
+    "FederatedSizeEstimator",
+    "FederatedAggEstimator",
+    "FederatedResult",
     "RSReissueEstimator",
     "RestartEstimator",
     "EpochEstimate",

@@ -7,7 +7,19 @@ Examples::
     hiddendb-repro run fig14 --scale tiny --seed 3
     hiddendb-repro run all --full
     hiddendb-repro estimate --dataset yahoo --m 20000 --rounds 20
+    hiddendb-repro estimate --query-budget 2000 --workers 4
+    hiddendb-repro estimate --target-precision 0.05 --query-budget 5000
+    hiddendb-repro federate --sources 3 --policy neyman --budget 3000
     hiddendb-repro track --epochs 5 --churn 0.05 --policy reissue
+
+``federate`` estimates the total size of a *federation* of heterogeneous
+hidden databases under one global query budget: seeded pilot rounds per
+source feed a budget-allocation policy (``--policy neyman`` adapts to
+observed per-source variance and cost; ``uniform`` / ``cost_weighted``
+are the baselines), then each source runs a budget-bounded session
+against its grant.  Output is one line per source plus the federated
+total with its variance-decomposition CI, and is independent of
+``--workers``.
 
 ``track`` follows a *dynamic* database across mutation epochs: each epoch
 churns the dataset (seeded inserts/deletes/modifications at ``--churn``
@@ -29,6 +41,7 @@ from repro.core.estimators import HDUnbiasedSize
 from repro.datasets import bool_iid, bool_mixed, yahoo_auto
 from repro.experiments.config import SCALES, default_scale_name
 from repro.experiments.figures import FIGURE_RUNNERS
+from repro.federation.policies import available_policies
 from repro.hidden_db.backends import available_backends
 from repro.hidden_db.counters import HiddenDBClient
 from repro.hidden_db.interface import TopKInterface
@@ -61,7 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--dataset", choices=["iid", "mixed", "yahoo"], default="yahoo")
     est.add_argument("--m", type=int, default=20_000)
     est.add_argument("--k", type=int, default=100)
-    est.add_argument("--rounds", type=int, default=20)
+    est.add_argument("--rounds", type=int, default=None,
+                     help="round count (default 20 unless --query-budget or "
+                          "--target-precision supply another stop; with one "
+                          "of those it acts as a round cap)")
+    est.add_argument("--query-budget", type=int, default=None,
+                     help="stop once this many queries have been charged "
+                          "(the last round may overshoot; enforced through "
+                          "round-granular leases, so it composes with "
+                          "--workers)")
+    est.add_argument("--target-precision", type=float, default=None,
+                     help="run until the 95%% CI half-width falls below this "
+                          "fraction of the estimate (adaptive run_until; "
+                          "sequential only)")
     est.add_argument("--r", type=int, default=4)
     est.add_argument("--dub", type=int, default=32)
     est.add_argument("--seed", type=int, default=0)
@@ -71,6 +96,39 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--workers", type=int, default=1,
                      help="fan rounds out over N workers (ParallelSession; "
                           "results are worker-count independent)")
+
+    fed = sub.add_parser(
+        "federate",
+        help="estimate the total size of a federation of hidden databases "
+             "under one global query budget",
+    )
+    fed.add_argument("--sources", type=int, default=3,
+                     help="number of heterogeneous sources (one big skewed "
+                          "source + smaller tame ones)")
+    fed.add_argument("--policy", choices=sorted(available_policies()),
+                     default="neyman",
+                     help="budget-allocation policy (neyman = "
+                          "variance-adaptive pilots)")
+    fed.add_argument("--budget", type=int, default=2_000,
+                     help="global query budget in cost units, spent across "
+                          "all sources (pilot phase included)")
+    fed.add_argument("--pilot-rounds", type=int, default=3,
+                     help="seeded pilot rounds per source the policy "
+                          "observes before allocating")
+    fed.add_argument("--m", type=int, default=1_000,
+                     help="base source size (the big source is sources x "
+                          "this)")
+    fed.add_argument("--k", type=int, default=50)
+    fed.add_argument("--overlap", type=float, default=0.0,
+                     help="fraction of each source cross-listed from a "
+                          "shared universe")
+    fed.add_argument("--backend", choices=sorted(available_backends()),
+                     default="scan")
+    fed.add_argument("--workers", type=int, default=1,
+                     help="per-source round fan-out (output is worker-count "
+                          "independent)")
+    fed.add_argument("--seed", type=int, default=0)
+    fed.add_argument("--json", action="store_true", help="emit JSON")
 
     trk = sub.add_parser(
         "track",
@@ -145,22 +203,102 @@ def _cmd_estimate(args) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.query_budget is not None and args.query_budget < 1:
+        print(f"--query-budget must be >= 1, got {args.query_budget}",
+              file=sys.stderr)
+        return 2
+    if args.target_precision is not None:
+        if args.target_precision <= 0:
+            print(f"--target-precision must be positive, got "
+                  f"{args.target_precision}", file=sys.stderr)
+            return 2
+        if args.workers > 1:
+            print("--target-precision is an adaptive sequential stop; it "
+                  "does not compose with --workers (drop one of the two)",
+                  file=sys.stderr)
+            return 2
     makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
-    maker = makers[args.dataset]
-    table = maker(m=args.m, seed=args.seed) if args.dataset == "yahoo" else maker(
-        m=args.m, seed=args.seed
-    )
+    table = makers[args.dataset](m=args.m, seed=args.seed)
     table = table.with_backend(args.backend)
     client = HiddenDBClient(TopKInterface(table, args.k))
     estimator = HDUnbiasedSize(
         client, r=args.r, dub=args.dub, seed=args.seed
     )
-    result = estimator.run(rounds=args.rounds, workers=args.workers)
+    if args.target_precision is not None:
+        result = estimator.run_until(
+            args.target_precision,
+            max_rounds=args.rounds if args.rounds is not None else 10_000,
+            query_budget=args.query_budget,
+        )
+    else:
+        rounds = args.rounds
+        if rounds is None and args.query_budget is None:
+            rounds = 20
+        result = estimator.run(
+            rounds=rounds,
+            query_budget=args.query_budget,
+            workers=args.workers,
+        )
     print(f"dataset={args.dataset} m={table.num_tuples} k={args.k} "
           f"backend={table.backend_name} workers={args.workers}")
     print(f"estimate={result.mean:,.1f}  ci95=({result.ci95[0]:,.1f}, "
           f"{result.ci95[1]:,.1f})  queries={result.total_cost}  "
-          f"rounds={result.rounds}")
+          f"rounds={result.rounds}  stop={result.stop_reason}")
+    return 0
+
+
+def _cmd_federate(args) -> int:
+    from repro.datasets.federation import heterogeneous_federation
+    from repro.federation import FederatedSizeEstimator
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        target = heterogeneous_federation(
+            num_sources=args.sources,
+            base_m=args.m,
+            k=args.k,
+            overlap=args.overlap,
+            backend=args.backend,
+            seed=args.seed,
+        )
+        estimator = FederatedSizeEstimator(
+            target,
+            policy=args.policy,
+            pilot_rounds=args.pilot_rounds,
+            seed=args.seed,
+        )
+        result = estimator.run(
+            query_budget=args.budget, workers=args.workers
+        )
+    except ValueError as exc:
+        # Parameter validation (e.g. a budget the pilots exhaust, a
+        # 1-source federation, an undrawable fixture).
+        print(str(exc), file=sys.stderr)
+        return 2
+    truth = target.true_total_size()
+    if args.json:
+        payload = result.to_dict()
+        payload["truth"] = truth
+        print(json.dumps(payload))
+        return 0
+    print(f"federation={target.name} sources={args.sources} "
+          f"policy={result.policy} budget={args.budget} "
+          f"workers={args.workers}")
+    for source_estimate in result.per_source:
+        granted = result.allocations[source_estimate.name]
+        print(f"  {source_estimate.name:<12} estimate "
+              f"{source_estimate.mean:>12,.1f}  se "
+              f"{source_estimate.std_error:>10,.1f}  rounds "
+              f"{source_estimate.rounds:>4}  queries "
+              f"{source_estimate.queries:>6}  granted {granted:>6}  "
+              f"stop {source_estimate.stop_reason}")
+    rel = abs(result.total - truth) / truth if truth else float("nan")
+    print(f"total={result.total:,.1f}  ci95=({result.ci95[0]:,.1f}, "
+          f"{result.ci95[1]:,.1f})  truth={truth:,}  err={100 * rel:.1f}%  "
+          f"spent={result.total_cost_units:,.0f}/{args.budget} units "
+          f"({result.total_queries} queries)")
     return 0
 
 
@@ -243,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "estimate":
         return _cmd_estimate(args)
+    if args.command == "federate":
+        return _cmd_federate(args)
     if args.command == "track":
         return _cmd_track(args)
     if args.command == "tune":

@@ -7,6 +7,7 @@
 * :mod:`repro.core.estimators` — the public HD-UNBIASED family (Section 5).
 """
 
+from repro.core.budget import BudgetExhausted, BudgetLease, QueryBudget, as_budget
 from repro.core.divide_conquer import MassFunction, TreeEstimate, estimate_tree
 from repro.core.drilldown import Walker, WalkKind, WalkOutcome, WalkStep
 from repro.core.dynamic import (
@@ -48,6 +49,10 @@ from repro.core.weights import (
 )
 
 __all__ = [
+    "QueryBudget",
+    "BudgetLease",
+    "BudgetExhausted",
+    "as_budget",
     "Walker",
     "WalkKind",
     "WalkOutcome",

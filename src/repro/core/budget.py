@@ -1,0 +1,214 @@
+"""Query-budget accounting: a ledger of round-granular leases.
+
+The paper's efficiency currency is queries charged by the hidden
+database's form.  A budget-bounded session must answer one question —
+*may the next round start?* — and answer it identically whether the
+rounds run sequentially or fan out over a worker pool.  The historic
+implementation compared a raw ``client.cost`` delta against an int and
+therefore only worked on one shared client; :class:`QueryBudget` replaces
+that with an explicit ledger:
+
+* a **lease** is issued *before* a round runs (leases are numbered in
+  round order — issuance order is the round order);
+* the lease is **settled** with the round's actual cost after the round
+  finishes, *in issuance order* (the ledger refuses out-of-order
+  settlement — that ordering is what makes budget stops a pure function
+  of per-round costs, never of worker scheduling);
+* a round whose result is discarded (speculative execution past the
+  stopping point, or a round aborted by a server-side hard limit) is
+  **cancelled** instead.
+
+The stopping rule is the paper's: a round is admitted while the settled
+spend is below the budget, and the last admitted round may overshoot
+(rounds are atomic); :attr:`QueryBudget.overshoot` attributes the excess
+to that final lease.  :class:`~repro.core.engine.ParallelSession` leases a
+wave of rounds up front, runs them concurrently, and settles in round
+order, which is how budget-bounded sessions inherit the engine's
+bit-identical worker-count invariance.
+
+Costs are numbers, not necessarily integers: federated schedulers charge
+``queries * cost_per_query`` units when sources price their queries
+differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+__all__ = ["BudgetExhausted", "BudgetLease", "QueryBudget", "as_budget"]
+
+Cost = Union[int, float]
+
+
+class BudgetExhausted(ValueError):
+    """A lease was requested from a ledger with no budget left."""
+
+
+@dataclass
+class BudgetLease:
+    """Permission for one atomic round, numbered in round order."""
+
+    index: int
+    settled_cost: Optional[Cost] = None
+    cancelled: bool = False
+
+    @property
+    def settled(self) -> bool:
+        """True once the round's actual cost has been recorded."""
+        return self.settled_cost is not None
+
+    @property
+    def open(self) -> bool:
+        """True while the lease is neither settled nor cancelled."""
+        return not self.settled and not self.cancelled
+
+
+class QueryBudget:
+    """Ledger of a session's query spend against an optional total.
+
+    Parameters
+    ----------
+    total:
+        The budget in cost units (``None`` = unlimited — the ledger then
+        only tracks spend and never refuses a lease).
+
+    The lifecycle per round is ``lease() -> settle(lease, cost)`` (or
+    ``cancel(lease)`` for a discarded round).  Settlement must happen in
+    lease-issuance order; violating that raises, because out-of-order
+    settlement would make the stopping decision depend on worker
+    scheduling.
+    """
+
+    def __init__(self, total: Optional[Cost] = None) -> None:
+        if total is not None and total < 0:
+            raise ValueError(f"budget total must be non-negative, got {total}")
+        self.total = total
+        self.spent: Cost = 0
+        self._leases: List[BudgetLease] = []
+        self._next_settle = 0
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the settled spend has reached the total."""
+        return self.total is not None and self.spent >= self.total
+
+    @property
+    def remaining(self) -> Optional[Cost]:
+        """Budget left to spend (``None`` when unlimited, floored at 0)."""
+        if self.total is None:
+            return None
+        return max(0, self.total - self.spent)
+
+    @property
+    def overshoot(self) -> Cost:
+        """Spend beyond the total, attributed to the last settled round.
+
+        Rounds are atomic, so the final admitted round may push the spend
+        past the total; this is that excess (0 while within budget or
+        unlimited).
+        """
+        if self.total is None:
+            return 0
+        return max(0, self.spent - self.total)
+
+    @property
+    def leases_issued(self) -> int:
+        """Total leases ever issued (settled + cancelled + open)."""
+        return len(self._leases)
+
+    @property
+    def rounds_settled(self) -> int:
+        """Leases settled so far — the admitted round count."""
+        return sum(1 for lease in self._leases if lease.settled)
+
+    @property
+    def outstanding(self) -> int:
+        """Leases issued but neither settled nor cancelled."""
+        return sum(1 for lease in self._leases if lease.open)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def lease(self, force: bool = False) -> BudgetLease:
+        """Issue permission for the next round (refused once exhausted).
+
+        Leases may be issued in batches ahead of settlement (that is how a
+        parallel wave starts); the refusal only looks at *settled* spend,
+        so the admission decision stays a round-order property.
+
+        ``force=True`` issues the lease even on an exhausted ledger — the
+        escape hatch schedulers use to guarantee a minimum round count (an
+        estimate needs at least two rounds for a standard error no matter
+        how small the grant); forced rounds settle normally and show up as
+        overshoot.
+        """
+        if self.exhausted and not force:
+            raise BudgetExhausted(
+                f"budget of {self.total} exhausted (spent {self.spent})"
+            )
+        lease = BudgetLease(index=len(self._leases))
+        self._leases.append(lease)
+        return lease
+
+    def settle(self, lease: BudgetLease, cost: Cost) -> None:
+        """Record the actual cost of *lease*'s round, in issuance order."""
+        if cost < 0:
+            raise ValueError(f"round cost must be non-negative, got {cost}")
+        if lease.cancelled:
+            raise ValueError(f"lease {lease.index} was cancelled")
+        if lease.settled:
+            raise ValueError(f"lease {lease.index} already settled")
+        if self._leases[self._next_settle] is not lease:
+            raise ValueError(
+                f"out-of-order settlement: lease {lease.index} settled "
+                f"before lease {self._leases[self._next_settle].index}"
+            )
+        lease.settled_cost = cost
+        self.spent += cost
+        self._advance_settle_cursor()
+
+    def cancel(self, lease: BudgetLease) -> None:
+        """Void *lease* without charging (discarded speculative round)."""
+        if lease.settled:
+            raise ValueError(f"lease {lease.index} already settled")
+        lease.cancelled = True
+        self._advance_settle_cursor()
+
+    def _advance_settle_cursor(self) -> None:
+        while (
+            self._next_settle < len(self._leases)
+            and not self._leases[self._next_settle].open
+        ):
+            self._next_settle += 1
+
+    def ledger(self) -> Dict[str, Optional[Cost]]:
+        """Mergeable summary of the ledger state."""
+        return {
+            "total": self.total,
+            "spent": self.spent,
+            "remaining": self.remaining,
+            "overshoot": self.overshoot,
+            "leases_issued": self.leases_issued,
+            "rounds_settled": self.rounds_settled,
+            "cancelled": sum(1 for lease in self._leases if lease.cancelled),
+        }
+
+    def __repr__(self) -> str:
+        cap = "unlimited" if self.total is None else self.total
+        return (
+            f"QueryBudget(total={cap}, spent={self.spent}, "
+            f"rounds={self.rounds_settled})"
+        )
+
+
+def as_budget(budget: Union[None, Cost, QueryBudget]) -> QueryBudget:
+    """Coerce an int/float cap (or ``None`` = unlimited) into a ledger.
+
+    A ready-made :class:`QueryBudget` passes through unchanged, so callers
+    can share one ledger between a scheduler and the session spending it.
+    """
+    if isinstance(budget, QueryBudget):
+        return budget
+    return QueryBudget(budget)

@@ -24,16 +24,31 @@ cache or pilot weight history the way a sequential session does — each
 round re-pays its cache misses.  Parallel sessions therefore trade query
 cost for wall-clock speed; the estimates themselves stay unbiased (rounds
 are i.i.d. by construction).
+
+Budget-bounded sessions
+-----------------------
+:meth:`ParallelSession.run_budgeted` extends the contract to query
+budgets.  The session executes rounds in *waves*: before each wave it
+leases one round per wave slot from the :class:`~repro.core.budget.QueryBudget`
+ledger (leases issued in round order up front), runs the wave
+concurrently, then settles the leases **in round order** — a round is
+admitted into the result while the settled spend is below the budget, and
+any later rounds of the wave are speculative work that gets cancelled and
+discarded.  Because admission looks only at round-order costs (each a
+deterministic function of its round seed), the admitted round set — and
+hence the merged result — is bit-identical at every worker count; only
+the amount of discarded speculative work varies.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.budget import QueryBudget, as_budget
 from repro.utils.rng import RandomSource, spawn_rng
 from repro.utils.stats import RunningStats, StreamingMeanSeries
 
@@ -61,6 +76,7 @@ def merge_rounds(
     per_round: List["object"],
     statistic: Callable[[np.ndarray], float],
     dims: int,
+    stop_reason: Optional[str] = None,
 ) -> "object":
     """Fold ordered RoundEstimates into one EstimationResult.
 
@@ -93,6 +109,7 @@ def merge_rounds(
         rounds=len(per_round),
         trajectory=trajectory,
         raw_rounds=list(per_round),
+        stop_reason=stop_reason,
     )
 
 
@@ -138,6 +155,9 @@ class ParallelSession:
     #: Component-wise sum of every round-client's ``report()`` (merged
     #: query-cost and cache accounting across workers).
     client_stats: Dict[str, float] = field(default_factory=dict)
+    #: Rounds executed past a budget's stopping point and discarded
+    #: (speculative wave work; grows with ``workers``, never the result).
+    speculative_rounds: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -196,12 +216,101 @@ class ParallelSession:
         outcomes = self.run_rounds(self.round_seeds(rounds))
         per_round = [outcome[0] for outcome in outcomes]
         self.client_stats = _sum_reports([outcome[1] for outcome in outcomes])
+        return self._merge(per_round, stop_reason="rounds")
+
+    def run_budgeted(
+        self,
+        budget: Union[int, float, QueryBudget],
+        max_rounds: Optional[int] = None,
+        cost_scale: float = 1.0,
+        min_rounds: int = 0,
+    ) -> "object":
+        """Execute rounds until the budget ledger (or a round cap) is hit.
+
+        *budget* is an int/float cap or a pre-charged
+        :class:`~repro.core.budget.QueryBudget` shared with a scheduler.
+        The wave protocol (see the module docstring) admits a round while
+        the spend settled **in round order** is below the budget, so the
+        admitted rounds — and the merged result — are bit-identical at
+        every worker count.  The last admitted round may overshoot (rounds
+        are atomic); the ledger attributes the excess to that lease.
+        Speculative rounds executed past the stopping point are cancelled:
+        their simulated queries are never charged to the ledger or the
+        result, and ``speculative_rounds`` on the session counts them.
+
+        *cost_scale* converts raw queries into ledger cost units (a
+        federated scheduler budgeting across sources that price their
+        queries differently settles ``round.cost * cost_scale``); the
+        merged result still reports raw query counts.
+
+        *min_rounds* admits the first N rounds unconditionally (forced
+        leases, charged as overshoot if the grant cannot cover them) — a
+        scheduler that needs a standard error from every source
+        guarantees itself two rounds even on a tiny grant.  Admission
+        stays a pure round-order rule either way.
+        """
+        budget = as_budget(budget)
+        if budget.total is None and max_rounds is None:
+            raise ValueError(
+                "an unlimited ledger needs max_rounds (nothing else stops "
+                "the session)"
+            )
+        if max_rounds is not None and max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if cost_scale <= 0:
+            raise ValueError(f"cost_scale must be positive, got {cost_scale}")
+        if min_rounds < 0:
+            raise ValueError(f"min_rounds must be >= 0, got {min_rounds}")
+        if max_rounds is not None:
+            min_rounds = min(min_rounds, max_rounds)
+        master = spawn_rng(self.seed)
+        admitted: List["object"] = []
+        reports: List[Dict[str, float]] = []
+        self.speculative_rounds = 0
+        stop_reason = "budget"
+        while True:
+            if max_rounds is not None and len(admitted) >= max_rounds:
+                stop_reason = "max_rounds"
+                break
+            forced_left = max(0, min_rounds - len(admitted))
+            if budget.exhausted and not forced_left:
+                break
+            # On an exhausted ledger only the forced remainder may run.
+            wave = self.workers if not budget.exhausted else forced_left
+            if max_rounds is not None:
+                wave = min(wave, max_rounds - len(admitted))
+            # Leases issued in round order up front, one per wave slot;
+            # seeds come from the same master stream in the same order, so
+            # round i's seed never depends on the wave partitioning.
+            leases = [
+                budget.lease(force=len(admitted) + j < min_rounds)
+                for j in range(wave)
+            ]
+            seeds = [int(master.integers(0, 2**63 - 1)) for _ in range(wave)]
+            outcomes = self.run_rounds(seeds)
+            for lease, (round_estimate, stats) in zip(leases, outcomes):
+                if budget.exhausted and len(admitted) >= min_rounds:
+                    budget.cancel(lease)
+                    self.speculative_rounds += 1
+                    continue
+                charge = round_estimate.cost
+                if cost_scale != 1:
+                    charge = charge * cost_scale
+                budget.settle(lease, charge)
+                admitted.append(round_estimate)
+                reports.append(stats)
+        if not admitted:
+            raise ValueError("the query budget allowed no rounds at all")
+        self.client_stats = _sum_reports(reports)
+        return self._merge(admitted, stop_reason=stop_reason)
+
+    def _merge(self, per_round: List["object"], stop_reason: str) -> "object":
         statistic = self.statistic
         dims = per_round[0].values.shape[0]
         if statistic is None:
             template = self.factory(0)
             statistic = template._statistic
-        return merge_rounds(per_round, statistic, dims)
+        return merge_rounds(per_round, statistic, dims, stop_reason=stop_reason)
 
 
 def _sum_reports(reports: List[Dict[str, float]]) -> Dict[str, float]:

@@ -26,6 +26,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.budget import QueryBudget, as_budget
 from repro.core.divide_conquer import TreeEstimate, estimate_tree
 from repro.core.drilldown import Walker
 from repro.core.partition import free_attribute_order, segment_attributes
@@ -96,6 +97,9 @@ class EstimationResult:
     rounds: int
     trajectory: StreamingMeanSeries  # (cumulative cost, running statistic)
     raw_rounds: List[RoundEstimate] = field(default_factory=list)
+    #: Why the session ended: "rounds", "budget", "precision", "stalled",
+    #: "hard_limit" or "max_rounds" (None for pre-ledger constructions).
+    stop_reason: Optional[str] = None
 
     @property
     def variance(self) -> float:
@@ -103,6 +107,16 @@ class EstimationResult:
         stats = RunningStats()
         stats.extend(self.estimates)
         return stats.variance
+
+    @property
+    def stalled(self) -> bool:
+        """True when the session ended on consecutive zero-cost rounds.
+
+        A budget-only session over a caching client stops charging once
+        the walked subtrees are all cached; the stall guard ends the
+        session instead of looping and flags it here.
+        """
+        return self.stop_reason == "stalled"
 
 
 class _RoundFactory:
@@ -302,66 +316,88 @@ class _DrillDownEstimator:
     def run(
         self,
         rounds: Optional[int] = None,
-        query_budget: Optional[int] = None,
+        query_budget: Union[None, int, QueryBudget] = None,
         stall_rounds: int = 50,
         workers: int = 1,
         executor: str = "thread",
     ) -> EstimationResult:
         """Run rounds until a count or a query budget is reached.
 
-        At least one of *rounds* / *query_budget* must be given.  The last
-        round may overshoot the budget slightly (a round is atomic).  If the
+        At least one of *rounds* / *query_budget* must be given.
+        *query_budget* may be an int cap or a shared
+        :class:`~repro.core.budget.QueryBudget` ledger (a federation
+        scheduler hands sessions pre-charged ledgers).  The last round may
+        overshoot the budget slightly (a round is atomic; the ledger's
+        ``overshoot`` attributes the excess to that final lease).  If the
         underlying interface enforces a hard limit, the session stops
         gracefully when it is hit (keeping the rounds already completed).
 
         With a budget-only session over a caching client, rounds can become
         free once the client has the walked subtrees cached; *stall_rounds*
-        consecutive zero-cost rounds end the session (the estimate has
-        extracted nearly everything the cache holds by then).
+        consecutive zero-cost rounds end the session with
+        ``stop_reason == "stalled"`` (the estimate has extracted nearly
+        everything the cache holds by then).
 
         With ``workers > 1`` the rounds run on a
         :class:`~repro.core.engine.ParallelSession`: every round gets its
         own client and RNG stream, and the merged result is bit-identical
         for a fixed estimator seed regardless of the worker count.  Parallel
         rounds cannot share the sequential session's result cache or pilot
-        weights, so they trade extra queries for wall-clock speed; a round
-        count is required (budgets are inherently sequential).
+        weights, so they trade extra queries for wall-clock speed.  Budgets
+        are enforced through round-granular leases settled in round order,
+        so a budget-bounded parallel session admits exactly the same rounds
+        at every worker count.
         """
         if rounds is None and query_budget is None:
             raise ValueError("specify rounds and/or query_budget")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if workers > 1:
-            if rounds is None or query_budget is not None:
-                raise ValueError(
-                    "parallel sessions need an explicit round count and no "
-                    "query budget; budgets are only enforceable sequentially"
-                )
             session = self.parallel_session(
                 workers,
                 seed=int(self.rng.integers(0, 2**63 - 1)),
                 executor=executor,
             )
+            if query_budget is not None:
+                result = session.run_budgeted(query_budget, max_rounds=rounds)
+                if result.stop_reason == "max_rounds":
+                    # Same vocabulary as the sequential path: an explicit
+                    # round count stopping the session reads "rounds"
+                    # whatever the worker count.
+                    result.stop_reason = "rounds"
+                return result
             return session.run(rounds)
+        budget = as_budget(query_budget)
         start_cost = self.client.cost
         vector_sum = np.zeros(self._dims)
         per_round: List[RoundEstimate] = []
         scalars: List[float] = []
         trajectory = StreamingMeanSeries()
         stalled = 0
+        stop_reason = None
         while True:
             if rounds is not None and len(per_round) >= rounds:
+                stop_reason = "rounds"
                 break
-            if query_budget is not None and self.client.cost - start_cost >= query_budget:
+            if budget.exhausted:
+                stop_reason = "budget"
                 break
             if rounds is None and stalled >= stall_rounds:
+                stop_reason = "stalled"
                 break
+            lease = budget.lease()
+            cost_before = self.client.cost
             try:
                 round_estimate = self.run_once()
             except QueryLimitExceeded:
+                # The aborted round's partial charges still hit the server;
+                # settle them so the ledger matches the counter.
+                budget.settle(lease, self.client.cost - cost_before)
                 if per_round:
+                    stop_reason = "hard_limit"
                     break
                 raise
+            budget.settle(lease, round_estimate.cost)
             stalled = stalled + 1 if round_estimate.cost == 0 else 0
             per_round.append(round_estimate)
             vector_sum += round_estimate.values
@@ -371,7 +407,7 @@ class _DrillDownEstimator:
         if not per_round:
             raise ValueError("the query budget allowed no rounds at all")
         return self._assemble(per_round, scalars, vector_sum, trajectory,
-                              start_cost)
+                              start_cost, stop_reason)
 
     def run_until(
         self,
@@ -379,34 +415,53 @@ class _DrillDownEstimator:
         confidence_z: float = 1.96,
         min_rounds: int = 5,
         max_rounds: int = 10_000,
-        query_budget: Optional[int] = None,
+        query_budget: Union[None, int, QueryBudget] = None,
+        stall_rounds: int = 50,
     ) -> EstimationResult:
         """Run rounds until the CI half-width is small enough.
 
         Because every round is unbiased, the normal-approximation CI of the
         running mean is honest (the paper's headline property); this method
         stops once ``z * SE <= target * |mean|``.  A budget and a round cap
-        bound the session either way.
+        bound the session either way; ``stop_reason`` records which bound
+        fired ("precision", "budget", "max_rounds", "stalled" or
+        "hard_limit").
         """
         if target_relative_halfwidth <= 0:
             raise ValueError("target_relative_halfwidth must be positive")
         if min_rounds < 2:
             raise ValueError("min_rounds must be at least 2 (SE needs it)")
+        budget = as_budget(query_budget)
         start_cost = self.client.cost
         vector_sum = np.zeros(self._dims)
         per_round: List[RoundEstimate] = []
         scalars: List[float] = []
         trajectory = StreamingMeanSeries()
         stats = RunningStats()
+        stalled = 0
+        stop_reason = "max_rounds"
         while len(per_round) < max_rounds:
-            if query_budget is not None and self.client.cost - start_cost >= query_budget:
+            if budget.exhausted:
+                stop_reason = "budget"
                 break
+            if budget.total is not None and stalled >= stall_rounds:
+                # Zero-cost (fully cached) rounds never consume the budget;
+                # without the guard a budget-bounded session would spin to
+                # max_rounds extracting nothing new from the server.
+                stop_reason = "stalled"
+                break
+            lease = budget.lease()
+            cost_before = self.client.cost
             try:
                 round_estimate = self.run_once()
             except QueryLimitExceeded:
+                budget.settle(lease, self.client.cost - cost_before)
                 if per_round:
+                    stop_reason = "hard_limit"
                     break
                 raise
+            budget.settle(lease, round_estimate.cost)
+            stalled = stalled + 1 if round_estimate.cost == 0 else 0
             per_round.append(round_estimate)
             vector_sum += round_estimate.values
             scalar = self._statistic(round_estimate.values)
@@ -417,11 +472,12 @@ class _DrillDownEstimator:
             if len(per_round) >= min_rounds and running != 0:
                 halfwidth = confidence_z * stats.std_error
                 if halfwidth <= target_relative_halfwidth * abs(running):
+                    stop_reason = "precision"
                     break
         if not per_round:
             raise ValueError("the query budget allowed no rounds at all")
         return self._assemble(per_round, scalars, vector_sum, trajectory,
-                              start_cost)
+                              start_cost, stop_reason)
 
     def _assemble(
         self,
@@ -430,6 +486,7 @@ class _DrillDownEstimator:
         vector_sum: np.ndarray,
         trajectory: StreamingMeanSeries,
         start_cost: int,
+        stop_reason: Optional[str] = None,
     ) -> EstimationResult:
         stats = RunningStats()
         stats.extend(scalars)
@@ -443,6 +500,7 @@ class _DrillDownEstimator:
             rounds=len(per_round),
             trajectory=trajectory,
             raw_rounds=per_round,
+            stop_reason=stop_reason,
         )
 
 

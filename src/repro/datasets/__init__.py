@@ -5,6 +5,11 @@ insert/delete/modify streams over an existing table.
 """
 
 from repro.datasets.churn import ChurnGenerator, apply_churn
+from repro.datasets.federation import (
+    federated_sources,
+    heterogeneous_federation,
+    skewed_probabilities,
+)
 from repro.datasets.special import running_example, worst_case
 from repro.datasets.synthetic import (
     bool_iid,
@@ -25,6 +30,9 @@ from repro.datasets.yahoo_auto import (
 __all__ = [
     "ChurnGenerator",
     "apply_churn",
+    "federated_sources",
+    "heterogeneous_federation",
+    "skewed_probabilities",
     "bool_iid",
     "bool_mixed",
     "bool_mixed_probabilities",

@@ -29,6 +29,7 @@ __all__ = [
     "TrajectoryFactory",
     "collect_trajectories",
     "collect_epoch_trajectories",
+    "collect_federated_runs",
     "metrics_at_costs",
     "hd_size_factory",
     "agg_factory",
@@ -119,6 +120,59 @@ def collect_epoch_trajectories(
             seed=seed,
             **track_kwargs,
         )
+
+    seeds = [base_seed + 7919 * i for i in range(replications)]
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(one_replication, seeds))
+    return [one_replication(seed) for seed in seeds]
+
+
+def collect_federated_runs(
+    target,
+    replications: int,
+    base_seed: int,
+    *,
+    policy: str = "neyman",
+    query_budget: float = 2_000,
+    pilot_rounds: int = 3,
+    workers: int = 1,
+    aggregate: Optional[str] = None,
+    measure: Optional[str] = None,
+) -> List["FederatedResult"]:
+    """Run *replications* independent federated estimation sessions.
+
+    The federated analogue of :func:`collect_trajectories`: every
+    replication builds a fresh
+    :class:`~repro.federation.estimators.FederatedSizeEstimator` (or the
+    aggregate variant when *aggregate* is given) over the **shared**
+    *target* with its own seed, so the replication spread measures
+    estimator variance against one fixed federation.  ``workers`` fans
+    replications over a thread pool; a federated run is itself
+    worker-count invariant, so replication-level parallelism is the
+    better use of cores and the returned results are identical to a
+    sequential run (same seeds, same order) regardless of the pool size.
+    """
+    from repro.federation import FederatedAggEstimator, FederatedSizeEstimator
+
+    if replications < 1:
+        raise ValueError("need at least one replication")
+
+    def one_replication(seed: int) -> "FederatedResult":
+        if aggregate is None:
+            estimator = FederatedSizeEstimator(
+                target, policy=policy, pilot_rounds=pilot_rounds, seed=seed
+            )
+        else:
+            estimator = FederatedAggEstimator(
+                target,
+                aggregate=aggregate,
+                measure=measure,
+                policy=policy,
+                pilot_rounds=pilot_rounds,
+                seed=seed,
+            )
+        return estimator.run(query_budget)
 
     seeds = [base_seed + 7919 * i for i in range(replications)]
     if workers > 1:

@@ -1,0 +1,55 @@
+"""Federated estimation: many hidden databases, one query budget.
+
+The web is not one hidden database but a federation of them; the scarce
+resource is a single global query budget.  This package layers a
+variance-adaptive scheduler over the paper's single-database estimators:
+
+* :mod:`repro.federation.target` — :class:`FederatedSource` /
+  :class:`FederatedTarget`, the named heterogeneous source set;
+* :mod:`repro.federation.policies` — budget-allocation policies
+  (``uniform``, ``cost_weighted``, ``neyman``) over pilot observations;
+* :mod:`repro.federation.estimators` — :class:`FederatedSizeEstimator`
+  and :class:`FederatedAggEstimator`, unbiased cross-source totals with
+  CIs from the per-source variance decomposition.
+
+Seeded generators for multi-source fixtures live in
+:mod:`repro.datasets.federation`; the CLI front end is the ``federate``
+subcommand.
+"""
+
+from repro.federation.estimators import (
+    FederatedAggEstimator,
+    FederatedResult,
+    FederatedSizeEstimator,
+    SourceEstimate,
+)
+from repro.federation.policies import (
+    AllocationPolicy,
+    CostWeightedPolicy,
+    NeymanPolicy,
+    SourcePilot,
+    UniformPolicy,
+    apportion,
+    available_policies,
+    register_policy,
+    resolve_policy,
+)
+from repro.federation.target import FederatedSource, FederatedTarget
+
+__all__ = [
+    "FederatedSource",
+    "FederatedTarget",
+    "FederatedSizeEstimator",
+    "FederatedAggEstimator",
+    "FederatedResult",
+    "SourceEstimate",
+    "AllocationPolicy",
+    "UniformPolicy",
+    "CostWeightedPolicy",
+    "NeymanPolicy",
+    "SourcePilot",
+    "available_policies",
+    "resolve_policy",
+    "register_policy",
+    "apportion",
+]

@@ -1,0 +1,198 @@
+"""Budget-allocation policies for federated estimation.
+
+Given pilot observations of every source — per-round estimate spread and
+per-round cost — a policy decides how the remaining global query budget
+splits across sources.  The three shipped policies mirror the classic
+survey-sampling ladder:
+
+* ``uniform`` — equal budget per source, ignoring everything observed
+  (the baseline a resource-aware scheduler must beat);
+* ``cost_weighted`` — budget proportional to observed cost per round, so
+  every source affords roughly the *same number of rounds* regardless of
+  how expensive its rounds are;
+* ``neyman`` — budget proportional to ``std * sqrt(cost_per_round)``,
+  the Neyman-style optimum: rounds then land proportional to
+  ``std / sqrt(cost)``, which minimises the variance of the federated sum
+  under a total-cost constraint.  Sources whose estimates are already
+  tight (or whose pilot spread degenerates to zero) gracefully fall back
+  toward the cost-weighted split.
+
+Allocations are integers in budget units, produced by a deterministic
+largest-remainder apportionment (ties broken by source order), so a
+seeded federated run is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Type, Union
+
+__all__ = [
+    "SourcePilot",
+    "AllocationPolicy",
+    "UniformPolicy",
+    "CostWeightedPolicy",
+    "NeymanPolicy",
+    "available_policies",
+    "resolve_policy",
+    "register_policy",
+    "apportion",
+]
+
+
+@dataclass(frozen=True)
+class SourcePilot:
+    """What the pilot phase observed about one source.
+
+    ``std`` is the sample standard deviation of the pilot rounds' unbiased
+    estimates; ``cost_per_round`` the mean charged cost of one round in
+    budget units (queries × the source's ``cost_per_query``).
+    """
+
+    name: str
+    rounds: int
+    mean: float
+    std: float
+    cost_per_round: float
+
+
+def apportion(total: int, weights: Sequence[float], names: Sequence[str]) -> Dict[str, int]:
+    """Split *total* integer units proportionally to *weights*.
+
+    Largest-remainder (Hamilton) apportionment: exact proportional quotas
+    are floored and the leftover units go to the largest fractional parts,
+    ties broken by position — fully deterministic, sums exactly to
+    *total*.  Non-finite or negative weights count as zero; an all-zero
+    weight vector degrades to the uniform split.
+    """
+    if total < 0:
+        raise ValueError(f"cannot apportion a negative total ({total})")
+    clean = [
+        w if (isinstance(w, (int, float)) and math.isfinite(w) and w > 0) else 0.0
+        for w in weights
+    ]
+    if sum(clean) <= 0:
+        clean = [1.0] * len(clean)
+    scale = total / sum(clean)
+    quotas = [w * scale for w in clean]
+    floors = [int(math.floor(q)) for q in quotas]
+    leftover = total - sum(floors)
+    remainders = sorted(
+        range(len(quotas)),
+        key=lambda i: (-(quotas[i] - floors[i]), i),
+    )
+    for i in remainders[:leftover]:
+        floors[i] += 1
+    return dict(zip(names, floors))
+
+
+class AllocationPolicy:
+    """Base policy: subclasses provide per-source weights."""
+
+    #: Registry name (set by subclasses).
+    name = "abstract"
+
+    def weights(self, pilots: Sequence[SourcePilot]) -> List[float]:
+        """Unnormalised budget shares, one per pilot, in source order."""
+        raise NotImplementedError
+
+    def allocate(
+        self, budget: Union[int, float], pilots: Sequence[SourcePilot]
+    ) -> Dict[str, int]:
+        """Integer budget units per source (sums exactly to ``int(budget)``)."""
+        if not pilots:
+            raise ValueError("cannot allocate a budget over zero sources")
+        return apportion(
+            int(budget),
+            self.weights(pilots),
+            [pilot.name for pilot in pilots],
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UniformPolicy(AllocationPolicy):
+    """Equal budget per source — the oblivious baseline."""
+
+    name = "uniform"
+
+    def weights(self, pilots: Sequence[SourcePilot]) -> List[float]:
+        return [1.0] * len(pilots)
+
+
+class CostWeightedPolicy(AllocationPolicy):
+    """Budget ∝ cost per round: every source affords ~equal rounds."""
+
+    name = "cost_weighted"
+
+    def weights(self, pilots: Sequence[SourcePilot]) -> List[float]:
+        return [max(pilot.cost_per_round, 1.0) for pilot in pilots]
+
+
+class NeymanPolicy(AllocationPolicy):
+    """Budget ∝ std × sqrt(cost per round) — variance-optimal.
+
+    Minimising ``Var(Σ μ̂_i) = Σ σ_i²/n_i`` subject to
+    ``Σ n_i·c_i = budget`` gives rounds ``n_i ∝ σ_i/√c_i``, i.e. budget
+    shares ``n_i·c_i ∝ σ_i·√c_i``.  Pilot spreads of zero (a source whose
+    few pilot rounds happened to agree exactly) would starve the source
+    forever; they are floored at *std_floor* times the largest observed
+    spread, which blends the allocation back toward cost-weighted for
+    degenerate pilots.
+    """
+
+    name = "neyman"
+
+    def __init__(self, std_floor: float = 0.05) -> None:
+        if not 0 < std_floor <= 1:
+            raise ValueError(f"std_floor must be in (0, 1], got {std_floor}")
+        self.std_floor = std_floor
+
+    def weights(self, pilots: Sequence[SourcePilot]) -> List[float]:
+        spreads = [
+            pilot.std if math.isfinite(pilot.std) and pilot.std > 0 else 0.0
+            for pilot in pilots
+        ]
+        top = max(spreads, default=0.0)
+        if top <= 0:
+            # No pilot showed any spread: nothing to adapt to, fall back
+            # to the cost-weighted split.
+            return CostWeightedPolicy().weights(pilots)
+        floor = self.std_floor * top
+        return [
+            max(spread, floor) * math.sqrt(max(pilot.cost_per_round, 1.0))
+            for spread, pilot in zip(spreads, pilots)
+        ]
+
+
+_POLICIES: Dict[str, Type[AllocationPolicy]] = {}
+
+
+def register_policy(cls: Type[AllocationPolicy]) -> Type[AllocationPolicy]:
+    """Register an :class:`AllocationPolicy` subclass under ``cls.name``."""
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+for _cls in (UniformPolicy, CostWeightedPolicy, NeymanPolicy):
+    register_policy(_cls)
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Registered policy names (CLI choices)."""
+    return tuple(sorted(_POLICIES))
+
+
+def resolve_policy(policy: Union[str, AllocationPolicy]) -> AllocationPolicy:
+    """Coerce a name or ready instance into an :class:`AllocationPolicy`."""
+    if isinstance(policy, AllocationPolicy):
+        return policy
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation policy {policy!r}; available: "
+            f"{', '.join(available_policies())}"
+        ) from None

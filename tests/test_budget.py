@@ -1,0 +1,214 @@
+"""Budget ledger unit tests and budget-accounting edge cases.
+
+Covers the `QueryBudget` lease/settle/cancel lifecycle plus the session
+behaviours the ISSUE calls out: last-round overshoot attribution, lease
+settlement under workers>1 matching the sequential engine totals, the
+stall guard for budget-only caching sessions, and `run_until` hitting
+budget / precision / round-cap in every order.
+"""
+
+import pytest
+
+from repro.core import HDUnbiasedSize, ParallelSession, QueryBudget
+from repro.core.budget import BudgetExhausted, as_budget
+from repro.datasets import boolean_table
+from repro.hidden_db import HiddenDBClient, QueryCounter, TopKInterface
+
+
+@pytest.fixture(scope="module")
+def table():
+    return boolean_table(1_000, [0.5] * 12, seed=71)
+
+
+def client_for(table, k=10, limit=None):
+    return HiddenDBClient(
+        TopKInterface(table, k, counter=QueryCounter(limit=limit))
+    )
+
+
+def estimator_for(table, seed, **kwargs):
+    kwargs.setdefault("r", 3)
+    kwargs.setdefault("dub", 16)
+    return HDUnbiasedSize(client_for(table), seed=seed, **kwargs)
+
+
+class TestLedger:
+    def test_lifecycle(self):
+        budget = QueryBudget(100)
+        first = budget.lease()
+        budget.settle(first, 60)
+        assert budget.spent == 60 and not budget.exhausted
+        assert budget.remaining == 40
+        second = budget.lease()
+        budget.settle(second, 55)  # atomic round: allowed to overshoot
+        assert budget.exhausted
+        assert budget.overshoot == 15
+        assert budget.rounds_settled == 2
+
+    def test_refuses_lease_once_exhausted(self):
+        budget = QueryBudget(10)
+        budget.settle(budget.lease(), 10)
+        with pytest.raises(BudgetExhausted):
+            budget.lease()
+
+    def test_out_of_order_settlement_refused(self):
+        budget = QueryBudget(100)
+        first, second = budget.lease(), budget.lease()
+        with pytest.raises(ValueError, match="out-of-order"):
+            budget.settle(second, 5)
+        budget.settle(first, 5)
+        budget.settle(second, 5)
+        assert budget.spent == 10
+
+    def test_cancel_skips_the_settle_cursor(self):
+        budget = QueryBudget(100)
+        first, second, third = (budget.lease() for _ in range(3))
+        budget.settle(first, 5)
+        budget.cancel(second)
+        budget.settle(third, 7)  # cursor hops the cancelled lease
+        assert budget.spent == 12
+        assert budget.ledger()["cancelled"] == 1
+        assert budget.outstanding == 0
+
+    def test_double_settlement_and_settled_cancel_refused(self):
+        budget = QueryBudget(100)
+        lease = budget.lease()
+        budget.settle(lease, 5)
+        with pytest.raises(ValueError, match="already settled"):
+            budget.settle(lease, 5)
+        with pytest.raises(ValueError, match="already settled"):
+            budget.cancel(lease)
+
+    def test_unlimited_ledger_tracks_but_never_refuses(self):
+        budget = QueryBudget(None)
+        for cost in (100, 200, 300):
+            budget.settle(budget.lease(), cost)
+        assert budget.spent == 600
+        assert not budget.exhausted
+        assert budget.remaining is None and budget.overshoot == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            QueryBudget(-1)
+        budget = QueryBudget(10)
+        with pytest.raises(ValueError, match="non-negative"):
+            budget.settle(budget.lease(), -3)
+
+    def test_float_costs_supported(self):
+        budget = QueryBudget(10.0)
+        budget.settle(budget.lease(), 2.5)
+        budget.settle(budget.lease(), 8.0)
+        assert budget.spent == pytest.approx(10.5)
+        assert budget.overshoot == pytest.approx(0.5)
+
+    def test_forced_lease_on_exhausted_ledger(self):
+        budget = QueryBudget(10)
+        budget.settle(budget.lease(), 12)
+        assert budget.exhausted
+        forced = budget.lease(force=True)  # scheduler minimum-rounds hatch
+        budget.settle(forced, 4)
+        assert budget.spent == 16 and budget.overshoot == 6
+
+    def test_as_budget_passthrough_and_coercion(self):
+        ledger = QueryBudget(5)
+        assert as_budget(ledger) is ledger
+        assert as_budget(5).total == 5
+        assert as_budget(None).total is None
+
+
+class TestBudgetAccounting:
+    """The ISSUE's satellite edge cases, end to end."""
+
+    def test_last_round_overshoot_attribution(self, table):
+        budget = QueryBudget(100)
+        result = estimator_for(table, seed=3).run(query_budget=budget)
+        assert result.stop_reason == "budget"
+        assert budget.spent == result.total_cost
+        # Spend through the second-to-last round was under the total; the
+        # whole excess belongs to the final atomic round.
+        last_round_cost = result.raw_rounds[-1].cost
+        assert budget.spent - last_round_cost < 100
+        assert budget.overshoot == max(0, result.total_cost - 100)
+
+    def test_parallel_settlement_equals_sequential_totals(self, table):
+        """Lease settlement under workers>1 == the workers=1 engine run."""
+        def session(workers):
+            return ParallelSession(
+                lambda seed: estimator_for(table, seed),
+                workers=workers,
+                seed=99,
+            )
+
+        budgets = {w: QueryBudget(220) for w in (1, 2, 4)}
+        results = {w: session(w).run_budgeted(budgets[w]) for w in (1, 2, 4)}
+        for workers in (2, 4):
+            assert results[workers].estimates == results[1].estimates
+            assert results[workers].total_cost == results[1].total_cost
+            assert budgets[workers].spent == budgets[1].spent
+            assert (
+                budgets[workers].rounds_settled == budgets[1].rounds_settled
+            )
+            assert budgets[workers].overshoot == budgets[1].overshoot
+
+    def test_budget_only_caching_stall_surfaces(self, table):
+        # One shared caching client: once every walked subtree is cached,
+        # rounds cost nothing and can never spend the rest of the budget.
+        estimator = estimator_for(table, seed=3, r=2)
+        result = estimator.run(query_budget=100_000, stall_rounds=25)
+        assert result.stop_reason == "stalled"
+        assert result.stalled
+        assert result.total_cost < 100_000
+        # The tail of the session really was free rounds.
+        assert all(r.cost == 0 for r in result.raw_rounds[-25:])
+
+    def test_stall_guard_in_run_until(self, table):
+        estimator = estimator_for(table, seed=3, r=2)
+        result = estimator.run_until(
+            1e-12, query_budget=100_000, stall_rounds=25, max_rounds=100_000
+        )
+        assert result.stop_reason == "stalled"
+
+    def test_rounds_cap_beats_stall_guard(self, table):
+        # An explicit round count never stalls (matches the pre-ledger
+        # contract: the stall guard only applies to budget-only sessions).
+        estimator = estimator_for(table, seed=3, r=2)
+        result = estimator.run(rounds=120, stall_rounds=25)
+        assert result.rounds == 120
+        assert result.stop_reason == "rounds"
+
+
+class TestRunUntilStopOrders:
+    """run_until must report whichever bound fires first, in every order."""
+
+    def test_precision_first(self, table):
+        result = estimator_for(table, seed=5).run_until(
+            0.25, query_budget=10**9, max_rounds=10_000
+        )
+        assert result.stop_reason == "precision"
+        assert 1.96 * result.std_error <= 0.25 * abs(result.mean) * 1.0001
+
+    def test_budget_first(self, table):
+        result = estimator_for(table, seed=5).run_until(
+            1e-12, query_budget=60, max_rounds=10_000
+        )
+        assert result.stop_reason == "budget"
+        assert result.total_cost >= 60
+
+    def test_max_rounds_first(self, table):
+        result = estimator_for(table, seed=5).run_until(
+            1e-12, query_budget=10**9, max_rounds=6
+        )
+        assert result.stop_reason == "max_rounds"
+        assert result.rounds == 6
+
+    def test_hard_limit_first(self, table):
+        estimator = HDUnbiasedSize(
+            client_for(table, limit=60), r=3, dub=16, seed=5
+        )
+        result = estimator.run_until(1e-12, max_rounds=10_000)
+        assert result.stop_reason == "hard_limit"
+        assert result.total_cost <= 60
+
+    def test_zero_budget_allows_no_rounds(self, table):
+        with pytest.raises(ValueError, match="no rounds"):
+            estimator_for(table, seed=5).run_until(0.1, query_budget=0)

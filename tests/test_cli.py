@@ -21,9 +21,23 @@ class TestParser:
     def test_estimate_defaults(self):
         args = build_parser().parse_args(["estimate"])
         assert args.dataset == "yahoo"
-        assert args.rounds == 20
+        assert args.rounds is None  # resolved to 20 when no other stop
+        assert args.query_budget is None
+        assert args.target_precision is None
         assert args.backend == "scan"
         assert args.workers == 1
+
+    def test_federate_defaults(self):
+        args = build_parser().parse_args(["federate"])
+        assert args.command == "federate"
+        assert args.sources == 3
+        assert args.policy == "neyman"
+        assert args.budget == 2_000
+        assert args.workers == 1
+
+    def test_federate_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["federate", "--policy", "magic"])
 
     def test_estimate_backend_and_workers_flags(self):
         args = build_parser().parse_args(
@@ -119,6 +133,73 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "workers=2" in out and "estimate=" in out
+
+    def test_estimate_query_budget(self, capsys):
+        base = ["estimate", "--dataset", "iid", "--m", "500", "--k", "20",
+                "--query-budget", "150", "--seed", "3"]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "stop=" in out
+        # Budgets compose with --workers now (leases, not raw counters).
+        assert main(base + ["--workers", "2"]) == 0
+        assert "stop=budget" in capsys.readouterr().out
+
+    def test_estimate_target_precision(self, capsys):
+        code = main([
+            "estimate", "--dataset", "iid", "--m", "500", "--k", "20",
+            "--target-precision", "0.25", "--seed", "3",
+        ])
+        assert code == 0
+        assert "stop=precision" in capsys.readouterr().out
+
+    def test_estimate_precision_rejects_workers(self, capsys):
+        code = main([
+            "estimate", "--dataset", "iid", "--m", "500", "--k", "20",
+            "--target-precision", "0.25", "--workers", "2",
+        ])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_estimate_invalid_budget_and_precision(self, capsys):
+        assert main(["estimate", "--query-budget", "0"]) == 2
+        capsys.readouterr()
+        assert main(["estimate", "--target-precision", "-1"]) == 2
+
+    def test_federate_command(self, capsys):
+        code = main([
+            "federate", "--sources", "3", "--m", "250", "--k", "16",
+            "--budget", "500", "--policy", "neyman", "--pilot-rounds", "2",
+            "--seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy=neyman" in out
+        assert out.count("source_0") == 3
+        assert "total=" in out and "truth=" in out
+
+    def test_federate_json_and_worker_invariance(self, capsys):
+        base = ["federate", "--sources", "2", "--m", "250", "--k", "16",
+                "--budget", "400", "--policy", "uniform",
+                "--pilot-rounds", "2", "--seed", "7", "--json"]
+        assert main(base + ["--workers", "1"]) == 0
+        one = json.loads(capsys.readouterr().out.strip())
+        assert main(base + ["--workers", "3"]) == 0
+        many = json.loads(capsys.readouterr().out.strip())
+        assert one == many  # worker-count invariance of the whole payload
+        assert one["policy"] == "uniform"
+        assert len(one["per_source"]) == 2
+        assert one["truth"] > 0
+        assert one["total_queries"] == sum(
+            entry["queries"] for entry in one["per_source"]
+        )
+
+    def test_federate_budget_too_small_exits_cleanly(self, capsys):
+        code = main([
+            "federate", "--sources", "3", "--m", "250", "--budget", "5",
+            "--seed", "7",
+        ])
+        assert code == 2
+        assert "pilot" in capsys.readouterr().err
 
     def test_track_command(self, capsys):
         code = main([

@@ -115,6 +115,84 @@ class TestMergeAccounting:
         assert 0.0 <= stats["hit_rate"] <= 1.0
 
 
+class TestBudgetedSessions:
+    """run_budgeted: the lease/settle wave protocol."""
+
+    def test_bit_identical_across_worker_counts(self, table):
+        results, sessions = {}, {}
+        for workers in (1, 2, 4):
+            session = ParallelSession(
+                lambda seed: make_estimator(table, seed),
+                workers=workers,
+                seed=42,
+            )
+            results[workers] = session.run_budgeted(250)
+            sessions[workers] = session
+        one = results[1]
+        for workers in (2, 4):
+            other = results[workers]
+            assert one.estimates == other.estimates
+            assert one.total_cost == other.total_cost
+            assert one.trajectory.xs == other.trajectory.xs
+            assert one.trajectory.values == other.trajectory.values
+        # workers=1 never speculates; larger pools may, but speculative
+        # work is discarded, never merged.
+        assert sessions[1].speculative_rounds == 0
+
+    def test_settled_spend_equals_result_cost(self, table):
+        from repro.core import QueryBudget
+
+        budget = QueryBudget(250)
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed), workers=3, seed=7
+        )
+        result = session.run_budgeted(budget)
+        assert budget.spent == result.total_cost
+        assert budget.rounds_settled == result.rounds
+        assert budget.exhausted
+        # Atomic rounds: the final lease absorbs any overshoot.
+        assert budget.overshoot == max(0, result.total_cost - 250)
+
+    def test_max_rounds_caps_budgeted_session(self, table):
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed), workers=2, seed=7
+        )
+        result = session.run_budgeted(10**9, max_rounds=4)
+        assert result.rounds == 4
+        assert result.stop_reason == "max_rounds"
+
+    def test_unlimited_budget_requires_max_rounds(self, table):
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed), workers=2, seed=7
+        )
+        with pytest.raises(ValueError, match="max_rounds"):
+            session.run_budgeted(None)
+
+    def test_zero_budget_allows_no_rounds(self, table):
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed), workers=2, seed=7
+        )
+        with pytest.raises(ValueError, match="no rounds"):
+            session.run_budgeted(0)
+
+    def test_min_rounds_forced_past_exhaustion(self, table):
+        from repro.core import QueryBudget
+
+        results = {}
+        for workers in (1, 3):
+            budget = QueryBudget(1)  # exhausted by the first round
+            session = ParallelSession(
+                lambda seed: make_estimator(table, seed),
+                workers=workers,
+                seed=5,
+            )
+            results[workers] = session.run_budgeted(budget, min_rounds=3)
+            assert budget.overshoot > 0
+        assert results[1].rounds == 3
+        assert results[1].estimates == results[3].estimates
+        assert results[1].total_cost == results[3].total_cost
+
+
 class TestValidation:
     def test_workers_must_be_positive(self):
         with pytest.raises(ValueError):
@@ -129,15 +207,22 @@ class TestValidation:
         with pytest.raises(ValueError):
             session.run(rounds=0)
 
-    def test_parallel_run_requires_round_count(self, table):
-        estimator = make_estimator(table, seed=1)
-        with pytest.raises(ValueError, match="round count"):
-            estimator.run(query_budget=100, workers=2)
+    def test_parallel_run_accepts_budget(self, table):
+        # Budgets used to be sequential-only; leases made them parallel.
+        a = make_estimator(table, seed=1).run(query_budget=200, workers=2)
+        b = make_estimator(table, seed=1).run(query_budget=200, workers=4)
+        assert a.estimates == b.estimates
+        assert a.total_cost == b.total_cost
+        assert a.stop_reason == "budget"
 
-    def test_parallel_run_rejects_budget_alongside_rounds(self, table):
-        estimator = make_estimator(table, seed=1)
-        with pytest.raises(ValueError, match="budget"):
-            estimator.run(rounds=5, query_budget=100, workers=2)
+    def test_parallel_run_budget_with_round_cap(self, table):
+        result = make_estimator(table, seed=1).run(
+            rounds=3, query_budget=100_000, workers=2
+        )
+        assert result.rounds == 3
+        # Same label as the sequential path: stop_reason is part of the
+        # worker-count-invariant output.
+        assert result.stop_reason == "rounds"
 
     def test_parallel_run_rejects_hard_limited_interface(self, table):
         from repro.hidden_db import QueryCounter

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart for the declarative front door (`repro.api`).
+
+One spec describes *what* to estimate, *against what*, and *under what
+regime*; the `Estimation` facade compiles and runs it.  The same spec
+serializes to JSON (ship it to `hiddendb-repro run-spec request.json`)
+and streams progressive report snapshots that can be cancelled early.
+
+Run:  python examples/api_quickstart.py
+"""
+
+import os
+
+from repro.api import (
+    DatasetSpec,
+    Estimation,
+    EstimationSpec,
+    RegimeSpec,
+    TargetSpec,
+)
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+M = 4_000 if SMOKE else 20_000
+BUDGET = 400 if SMOKE else 2_000
+
+
+def main() -> None:
+    spec = EstimationSpec(
+        target=TargetSpec(dataset=DatasetSpec(name="yahoo", m=M, seed=42)),
+        regime=RegimeSpec(query_budget=BUDGET, workers=4, seed=7),
+    )
+    print("The request, as the JSON a service would accept:\n")
+    print(spec.to_json(indent=2))
+
+    print("\nOne-shot run through the facade:")
+    estimation = Estimation(spec)
+    report = estimation.run()
+    truth = estimation.ground_truth()
+    low, high = report.ci95
+    print(f"  estimate {report.estimate:>12,.0f}   (truth {truth:,.0f})")
+    print(f"  95% CI   [{low:,.0f}, {high:,.0f}]")
+    print(f"  spent    {report.total_queries:,} queries over "
+          f"{report.rounds} rounds  (stop: {report.stop_reason})")
+
+    print("\nStreaming the same request, cancelling once the CI is tight")
+    print("enough (the budget ledger settles — nothing leaks):")
+    with Estimation(spec).stream() as snapshots:
+        for snapshot in snapshots:
+            print(f"  round {snapshot.rounds:>3}  "
+                  f"estimate {snapshot.estimate:>12,.1f}  "
+                  f"queries {snapshot.total_queries:>6}")
+            if snapshot.rounds >= 3 and snapshot.relative_halfwidth < 0.25:
+                snapshots.cancel()
+    final = snapshots.result
+    print(f"  -> {final.stop_reason} after {final.rounds} rounds, "
+          f"{final.total_queries:,} queries "
+          f"(ledger settled: {snapshots.budget.outstanding == 0})")
+
+    print("\nThe report is as serializable as the spec:")
+    print(f"  report.to_json() round-trips: "
+          f"{final.to_json() == type(final).from_json(final.to_json()).to_json()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,8 @@ under the same query budget and reports their final estimates:
 Run:  python examples/estimator_showdown.py
 """
 
+import os
+
 from repro import BoolUnbiasedSize, HDUnbiasedSize, HiddenDBClient, TopKInterface
 from repro.baselines import (
     BruteForceSampler,
@@ -21,8 +23,10 @@ from repro.baselines import (
 from repro.datasets import bool_mixed
 from repro.hidden_db import QueryCounter
 
-BUDGET = 500
-M = 20_000
+# REPRO_SMOKE=1 shrinks the run for CI smoke jobs.
+_SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+BUDGET = 200 if _SMOKE else 500
+M = 2_000 if _SMOKE else 20_000
 
 
 def fresh_client(table, cache=True, limit=None):

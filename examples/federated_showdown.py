@@ -20,10 +20,13 @@ federated CI tightens for free.
 Run:  python examples/federated_showdown.py
 """
 
+import os
+
 from repro.datasets.federation import heterogeneous_federation
 from repro.federation import FederatedSizeEstimator
 
-BUDGET = 2_000
+# REPRO_SMOKE=1 shrinks the run for CI smoke jobs.
+BUDGET = 900 if os.environ.get("REPRO_SMOKE") == "1" else 2_000
 SEED = 7
 
 

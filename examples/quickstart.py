@@ -10,13 +10,18 @@ what a full crawl would have cost).
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import HDUnbiasedSize, HiddenDBClient, TopKInterface
 from repro.datasets import yahoo_auto
 
+# REPRO_SMOKE=1 shrinks the run for CI smoke jobs.
+M = 4_000 if os.environ.get("REPRO_SMOKE") == "1" else 20_000
+
 
 def main() -> None:
-    print("Generating a 20,000-listing used-car hidden database...")
-    table = yahoo_auto(m=20_000, seed=42)
+    print(f"Generating a {M:,}-listing used-car hidden database...")
+    table = yahoo_auto(m=M, seed=42)
     truth = table.num_tuples
 
     # The public face of the database: a top-k search form.

@@ -18,14 +18,18 @@ with the library's higher-level tools:
 Run:  python examples/size_claim_audit.py
 """
 
+import os
+
 from repro import HDUnbiasedSize, HiddenDBClient, TopKInterface
 from repro.core import suggest_parameters
 from repro.datasets import yahoo_auto
 from repro.hidden_db import QueryCounter, crawl
 
 ADVERTISED = 30_000
-TRUE_SIZE = 22_000  # the site exaggerates by ~36%
-QUERY_QUOTA = 1_500  # per-IP daily allowance
+# REPRO_SMOKE=1 shrinks the run for CI smoke jobs.
+_SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+TRUE_SIZE = 5_500 if _SMOKE else 22_000  # the site exaggerates by ~36%
+QUERY_QUOTA = 1_200 if _SMOKE else 1_500  # per-IP daily allowance
 PAGE_SIZE = 20  # the form shows 20 results per page
 
 

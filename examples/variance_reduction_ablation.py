@@ -8,6 +8,8 @@ single-walk variance (Theorem 2) and the worst-case bounds (Theorem 3).
 Run:  python examples/variance_reduction_ablation.py
 """
 
+import os
+
 import numpy as np
 
 from repro import HDUnbiasedSize, HiddenDBClient, TopKInterface
@@ -42,10 +44,16 @@ def measure_variants(table, k, rounds, replications):
         )
 
 
+# REPRO_SMOKE=1 shrinks the run for CI smoke jobs.
+_SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+M = 2_000 if _SMOKE else 10_000
+REPLICATIONS = 3 if _SMOKE else 8
+
+
 def main() -> None:
-    print("=== Yahoo! Auto (10,000 listings, k=100), 10 rounds/session ===")
-    table = yahoo_auto(m=10_000, seed=3)
-    measure_variants(table, k=100, rounds=10, replications=8)
+    print(f"=== Yahoo! Auto ({M:,} listings, k=100), 10 rounds/session ===")
+    table = yahoo_auto(m=M, seed=3)
+    measure_variants(table, k=100, rounds=10, replications=REPLICATIONS)
 
     print("\n=== Why D&C matters: the worst-case database of Figure 4 ===")
     wc = worst_case(16)
@@ -58,7 +66,7 @@ def main() -> None:
     print(f"Theorem 3 upper bound:                  {bound:.3e}")
     print("(m = 17 tuples, |Dom| = 2^16: the domain/database mismatch is "
           "the whole story)")
-    measure_variants(wc, k=1, rounds=10, replications=8)
+    measure_variants(wc, k=1, rounds=10, replications=REPLICATIONS)
 
     print(
         "\nWeight adjustment helps on realistic skew; divide-&-conquer "

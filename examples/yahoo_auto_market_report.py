@@ -12,6 +12,8 @@ script produces a small market report for third-party analytics:
 Run:  python examples/yahoo_auto_market_report.py
 """
 
+import os
+
 from repro import HDUnbiasedAgg, HDUnbiasedSize, HiddenDBClient, TopKInterface
 from repro.core.estimators import resolve_condition
 from repro.datasets import MAKES, model_label, yahoo_auto
@@ -29,9 +31,13 @@ def online_client(table, daily_limit=1000):
     return HiddenDBClient(simulator)
 
 
+# REPRO_SMOKE=1 shrinks the run for CI smoke jobs.
+M = 4_000 if os.environ.get("REPRO_SMOKE") == "1" else 20_000
+
+
 def main() -> None:
-    print("Spinning up the simulated Yahoo! Auto site (20,000 listings)...")
-    table = yahoo_auto(m=20_000, seed=2007)
+    print(f"Spinning up the simulated Yahoo! Auto site ({M:,} listings)...")
+    table = yahoo_auto(m=M, seed=2007)
     schema = table.schema
 
     # ---- Figure 18 style: COUNT(Toyota Corolla), several executions ----

@@ -4,7 +4,18 @@ A full reproduction of Dasgupta, Jin, Jewell, Zhang, Das —
 "Unbiased Estimation of Size and Other Aggregates Over Hidden Web
 Databases", SIGMOD 2010.
 
-The public surface re-exports the pieces most users need::
+The stable public surface is :mod:`repro.api` — one declarative,
+JSON-serializable request type and one facade::
+
+    from repro import DatasetSpec, Estimation, EstimationSpec, RegimeSpec, TargetSpec
+
+    spec = EstimationSpec(
+        target=TargetSpec(dataset=DatasetSpec(name="yahoo", m=20_000)),
+        regime=RegimeSpec(rounds=25, seed=7),
+    )
+    report = Estimation(spec).run()      # one unified AggregateReport
+
+The class-based layer underneath remains available for hand wiring::
 
     from repro import (
         HDUnbiasedSize, HDUnbiasedAgg, BoolUnbiasedSize,  # estimators
@@ -33,6 +44,20 @@ backend → engine layering, the versioning/epoch layer, the
 budget/federation scheduler and how to extend each.
 """
 
+from repro.api import (
+    AggregateReport,
+    AggregateSpec,
+    ChurnSpec,
+    DatasetSpec,
+    Estimation,
+    EstimationSpec,
+    EstimationStream,
+    FederationSpec,
+    MethodSpec,
+    RegimeSpec,
+    TargetSpec,
+    run_spec,
+)
 from repro.core import (
     BoolUnbiasedSize,
     EpochEstimate,
@@ -66,9 +91,21 @@ from repro.hidden_db import (
     TopKInterface,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "EstimationSpec",
+    "TargetSpec",
+    "DatasetSpec",
+    "FederationSpec",
+    "ChurnSpec",
+    "AggregateSpec",
+    "RegimeSpec",
+    "MethodSpec",
+    "AggregateReport",
+    "Estimation",
+    "EstimationStream",
+    "run_spec",
     "HDUnbiasedSize",
     "HDUnbiasedAgg",
     "BoolUnbiasedSize",

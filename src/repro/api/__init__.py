@@ -1,0 +1,63 @@
+"""``repro.api`` — the stable public surface of the reproduction.
+
+One declarative request type (:class:`EstimationSpec`), one facade that
+compiles and runs it (:class:`Estimation`), one unified result
+(:class:`AggregateReport`), and one observable session
+(:class:`EstimationStream`).  Everything round-trips through JSON, so a
+request can be built in one process, shipped as a file, and executed by
+``hiddendb-repro run-spec`` — the CLI's ``estimate`` / ``track`` /
+``federate`` subcommands are thin translators onto this module.
+
+Quick start::
+
+    from repro.api import (
+        DatasetSpec, Estimation, EstimationSpec, RegimeSpec, TargetSpec,
+    )
+
+    spec = EstimationSpec(
+        target=TargetSpec(dataset=DatasetSpec(name="yahoo", m=20_000)),
+        regime=RegimeSpec(rounds=25, seed=7),
+    )
+    report = Estimation(spec).run()
+    print(report.estimate, report.ci95, report.total_queries)
+"""
+
+from repro.api.report import (
+    REPORT_SCHEMA_VERSION,
+    AggregateReport,
+    report_from_estimation,
+    report_from_federated,
+    report_from_track,
+)
+from repro.api.session import Estimation, EstimationStream, run_spec
+from repro.api.spec import (
+    SPEC_SCHEMA_VERSION,
+    AggregateSpec,
+    ChurnSpec,
+    DatasetSpec,
+    EstimationSpec,
+    FederationSpec,
+    MethodSpec,
+    RegimeSpec,
+    TargetSpec,
+)
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "REPORT_SCHEMA_VERSION",
+    "EstimationSpec",
+    "TargetSpec",
+    "DatasetSpec",
+    "FederationSpec",
+    "ChurnSpec",
+    "AggregateSpec",
+    "RegimeSpec",
+    "MethodSpec",
+    "AggregateReport",
+    "Estimation",
+    "EstimationStream",
+    "run_spec",
+    "report_from_estimation",
+    "report_from_track",
+    "report_from_federated",
+]

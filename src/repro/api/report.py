@@ -1,0 +1,327 @@
+"""The unified, serializable estimation result: :class:`AggregateReport`.
+
+Every mode behind the :class:`~repro.api.session.Estimation` facade —
+static, budgeted, tracking, federated — reports through this one type.
+The legacy result classes (``EstimationResult``, ``TrackResult``,
+``FederatedResult``) remain available but are an internal detail of the
+estimator stacks; the converters in this module flatten each of them into
+the shared shape:
+
+* the headline statistic (``estimate`` / ``std_error`` / ``ci95``),
+* the cost ledger (``rounds`` / ``total_queries`` / ``cost_units``),
+* why the session ended (``stop_reason``) and whether it is still
+  running (``partial`` — streaming snapshots),
+* the running-estimate ``trajectory`` against cumulative query cost,
+* mode-specific breakdowns (``per_source`` for federations, ``per_epoch``
+  for tracking) plus the federated scheduler's ``allocations`` /
+  ``policy`` / ``budget`` / ``pilot_cost_units``,
+* an optional echo of the :class:`~repro.api.spec.EstimationSpec` that
+  produced it, so a report is a self-contained, replayable artefact.
+
+Reports round-trip through JSON bit-identically (re-serializing a parsed
+report is byte-equal) and the JSON is strict RFC 8259: non-finite floats
+(a tracking report's undefined ``std_error``, an AVG estimate with an
+empty denominator) serialize as ``null`` and parse back as NaN, so any
+consumer — ``jq``, ``JSON.parse``, non-Python decoders — can read a
+shipped report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api.spec import EstimationSpec
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "AggregateReport",
+    "report_from_estimation",
+    "report_from_track",
+    "report_from_federated",
+    "legacy_federate_payload",
+    "legacy_track_payload",
+]
+
+#: Bumped whenever the serialized layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None`` (strict JSON)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def _as_float(value: Any) -> float:
+    """Parse a serialized scalar back (``null`` means non-finite -> NaN)."""
+    return float("nan") if value is None else float(value)
+
+
+@dataclass
+class AggregateReport:
+    """One estimation outcome, whatever the regime that produced it."""
+
+    mode: str  # static | budgeted | tracking | federated
+    estimate: float
+    std_error: float
+    ci95: Tuple[float, float]
+    rounds: int  # rounds contributing to the estimate
+    total_queries: int  # raw queries charged across the whole session
+    cost_units: float  # queries in budget units (= queries unless priced)
+    stop_reason: str  # concrete reason ("streaming" while partial)
+    partial: bool = False  # True for mid-flight streaming snapshots
+    trajectory: List[Tuple[float, float]] = field(default_factory=list)
+    per_source: Optional[List[Dict[str, Any]]] = None  # federated breakdown
+    per_epoch: Optional[List[Dict[str, Any]]] = None  # tracking breakdown
+    allocations: Optional[Dict[str, int]] = None
+    policy: Optional[str] = None
+    budget: Optional[float] = None
+    pilot_cost_units: Optional[float] = None
+    truth: Optional[float] = None  # ground truth, when the run recorded it
+    spec: Optional[EstimationSpec] = None
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def relative_halfwidth(self) -> float:
+        """CI half-width as a fraction of the estimate (NaN if undefined)."""
+        if not self.estimate:
+            return float("nan")
+        return (self.ci95[1] - self.ci95[0]) / 2 / abs(self.estimate)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form.  Scalar fields are always present; optional
+        breakdown sections are omitted when ``None`` (a static report does
+        not carry empty federation keys)."""
+        payload: Dict[str, Any] = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "mode": self.mode,
+            "estimate": self.estimate,
+            "std_error": self.std_error,
+            "ci95": list(self.ci95),
+            "rounds": self.rounds,
+            "total_queries": self.total_queries,
+            "cost_units": self.cost_units,
+            "stop_reason": self.stop_reason,
+            "partial": self.partial,
+            "trajectory": [list(point) for point in self.trajectory],
+        }
+        for key in (
+            "per_source",
+            "per_epoch",
+            "allocations",
+            "policy",
+            "budget",
+            "pilot_cost_units",
+            "truth",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.spec is not None:
+            payload["spec"] = self.spec.to_dict()
+        return _json_safe(payload)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical, strict JSON (sorted keys, no NaN/Infinity tokens —
+        byte-stable for equal reports)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, indent=indent, allow_nan=False
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AggregateReport":
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"report payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        payload = dict(payload)
+        version = payload.pop("schema_version", REPORT_SCHEMA_VERSION)
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported report schema_version {version!r} "
+                f"(this build reads version {REPORT_SCHEMA_VERSION})"
+            )
+        spec = payload.pop("spec", None)
+        known = {
+            "mode", "estimate", "std_error", "ci95", "rounds",
+            "total_queries", "cost_units", "stop_reason", "partial",
+            "trajectory", "per_source", "per_epoch", "allocations",
+            "policy", "budget", "pilot_cost_units", "truth",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown report key(s): {sorted(unknown)}")
+        missing = {
+            "mode", "estimate", "std_error", "ci95", "rounds",
+            "total_queries", "cost_units", "stop_reason",
+        } - set(payload)
+        if missing:
+            raise ValueError(f"report payload is missing {sorted(missing)}")
+        ci95 = payload.pop("ci95")
+        if not isinstance(ci95, (list, tuple)) or len(ci95) != 2:
+            raise ValueError(
+                f"report ci95 must be a [low, high] pair, got {ci95!r}"
+            )
+        trajectory = payload.pop("trajectory", None) or []
+        if not isinstance(trajectory, list):
+            raise ValueError(
+                f"report trajectory must be a list of [cost, value] pairs, "
+                f"got {type(trajectory).__name__}"
+            )
+        points = []
+        for point in trajectory:
+            if not isinstance(point, (list, tuple)) or len(point) != 2:
+                raise ValueError(
+                    f"report trajectory points must be [cost, value] "
+                    f"pairs, got {point!r}"
+                )
+            points.append((_as_float(point[0]), _as_float(point[1])))
+        return cls(
+            estimate=_as_float(payload.pop("estimate")),
+            std_error=_as_float(payload.pop("std_error")),
+            ci95=(_as_float(ci95[0]), _as_float(ci95[1])),
+            trajectory=points,
+            spec=EstimationSpec.from_dict(spec) if spec is not None else None,
+            **payload,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AggregateReport":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"report is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+
+# -- converters from the internal result types -----------------------------
+
+
+def report_from_estimation(
+    result,
+    mode: str,
+    spec: Optional[EstimationSpec] = None,
+    partial: bool = False,
+) -> AggregateReport:
+    """Flatten an :class:`~repro.core.estimators.EstimationResult`."""
+    trajectory = list(zip(result.trajectory.xs, result.trajectory.values))
+    return AggregateReport(
+        mode=mode,
+        estimate=result.mean,
+        std_error=result.std_error,
+        ci95=(result.ci95[0], result.ci95[1]),
+        rounds=result.rounds,
+        total_queries=result.total_cost,
+        cost_units=float(result.total_cost),
+        stop_reason="streaming" if partial else result.stop_reason,
+        partial=partial,
+        trajectory=trajectory,
+        spec=spec,
+    )
+
+
+def report_from_track(
+    result,
+    spec: Optional[EstimationSpec] = None,
+    partial: bool = False,
+    stop_reason: str = "epochs",
+) -> AggregateReport:
+    """Flatten a :class:`~repro.core.dynamic.TrackResult`.
+
+    The headline estimate is the latest epoch's; the per-epoch breakdown
+    carries the full trajectory (estimates, truths, drift accounting).
+    """
+    epochs = result.to_dict()["epochs"]
+    last = result.epochs[-1]
+    cumulative = 0
+    trajectory: List[Tuple[float, float]] = []
+    for epoch in result.epochs:
+        cumulative += epoch.cost
+        trajectory.append((float(cumulative), float(epoch.estimate)))
+    return AggregateReport(
+        mode="tracking",
+        estimate=last.estimate,
+        std_error=float("nan"),
+        ci95=(float("nan"), float("nan")),
+        rounds=int(sum(epoch.reissued for epoch in result.epochs)),
+        total_queries=result.total_cost,
+        cost_units=float(result.total_cost),
+        stop_reason="streaming" if partial else stop_reason,
+        partial=partial,
+        trajectory=trajectory,
+        per_epoch=epochs,
+        policy=result.policy,
+        truth=last.truth,
+        spec=spec,
+    )
+
+
+def legacy_federate_payload(report: AggregateReport, truth) -> Dict[str, Any]:
+    """The CLI's ``federate --json`` payload, key-for-key.
+
+    Pinned byte-for-byte by golden tests to the pre-API
+    ``FederatedResult.to_dict()`` shape (plus ``truth``); it lives next
+    to :func:`report_from_federated` so the two flattenings of a
+    federated result cannot drift apart.  Change it only together with
+    the goldens.
+    """
+    return {
+        "total": report.estimate,
+        "std_error": report.std_error,
+        "ci95": list(report.ci95),
+        "policy": report.policy,
+        "budget": report.budget,
+        "total_cost_units": report.cost_units,
+        "total_queries": report.total_queries,
+        "pilot_cost_units": report.pilot_cost_units,
+        "allocations": report.allocations,
+        "per_source": report.per_source,
+        "truth": truth,
+    }
+
+
+def legacy_track_payload(report: AggregateReport) -> Dict[str, Any]:
+    """The CLI's ``track --json`` payload (pre-API ``TrackResult.to_dict()``
+    shape), golden-pinned like :func:`legacy_federate_payload`."""
+    return {
+        "policy": report.policy,
+        "total_cost": report.total_queries,
+        "epochs": report.per_epoch,
+    }
+
+
+def report_from_federated(
+    result,
+    spec: Optional[EstimationSpec] = None,
+    partial: bool = False,
+) -> AggregateReport:
+    """Flatten a :class:`~repro.federation.estimators.FederatedResult`."""
+    return AggregateReport(
+        mode="federated",
+        estimate=result.total,
+        std_error=result.std_error,
+        ci95=(result.ci95[0], result.ci95[1]),
+        rounds=int(sum(s.rounds for s in result.per_source)),
+        total_queries=result.total_queries,
+        cost_units=result.total_cost_units,
+        stop_reason="streaming" if partial else "budget",
+        partial=partial,
+        per_source=[s.to_dict() for s in result.per_source],
+        allocations=dict(result.allocations),
+        policy=result.policy,
+        budget=result.budget,
+        pilot_cost_units=result.pilot_cost_units,
+        spec=spec,
+    )

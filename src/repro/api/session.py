@@ -1,0 +1,551 @@
+"""The :class:`Estimation` facade: one front door for every regime.
+
+``Estimation(spec).run()`` compiles a declarative
+:class:`~repro.api.spec.EstimationSpec` to the right estimator stack —
+static, budgeted, tracking or federated — runs it, and returns one
+unified :class:`~repro.api.report.AggregateReport`.  For a fixed seed the
+facade reproduces the hand-built stacks exactly (same construction, same
+RNG consumption), so scripts written against the class-based API and
+requests submitted through the front door agree bit for bit.
+
+``Estimation(spec).stream()`` is the observable version: an
+:class:`EstimationStream` yielding a progressive report snapshot after
+every admitted round (static / budgeted), epoch (tracking) or scheduler
+phase (federated).  Streams are built on the engine's wave protocol, so
+the snapshot *sequence* is identical at every worker count, and they can
+be cancelled mid-flight: cancellation settles the stream's
+:class:`~repro.core.budget.QueryBudget` ledger (no lease is left open)
+and finalizes :attr:`EstimationStream.result` with
+``stop_reason == "cancelled"``.
+
+Example::
+
+    spec = EstimationSpec(
+        target=TargetSpec(dataset=DatasetSpec(name="yahoo", m=20_000)),
+        regime=RegimeSpec(query_budget=2_000, workers=4, seed=7),
+    )
+    with Estimation(spec).stream() as snapshots:
+        for report in snapshots:
+            if report.relative_halfwidth < 0.05:
+                snapshots.cancel()          # budget settles, no leaks
+    print(snapshots.result.estimate, snapshots.result.stop_reason)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.api.compiler import (
+    DEFAULT_FEDERATED_POLICY,
+    build_estimator,
+    build_federated_estimator,
+    build_federation,
+    build_table,
+    resolve_rounds,
+    tracker_kwargs,
+)
+from repro.api.report import (
+    AggregateReport,
+    report_from_estimation,
+    report_from_federated,
+    report_from_track,
+)
+from repro.api.spec import EstimationSpec
+from repro.core.budget import QueryBudget, as_budget
+from repro.hidden_db.exceptions import QueryLimitExceeded
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import RunningStats
+
+__all__ = ["Estimation", "EstimationStream", "run_spec"]
+
+
+class _RoundAccumulator:
+    """Incremental round folding for streaming snapshots.
+
+    Maintains the running sums a sequential session keeps (mass-vector
+    sum, Welford stats over the per-round scalars, the cumulative-cost
+    trajectory) so each per-round snapshot costs O(1) accumulation plus
+    the O(n) copy of the trajectory it carries — instead of re-merging
+    the whole round list every yield.  The final snapshot is numerically
+    identical to :func:`~repro.core.engine.merge_rounds` over the same
+    rounds (same formulas, same order).
+    """
+
+    def __init__(self, estimator) -> None:
+        self._statistic = estimator._statistic
+        self._vector_sum = np.zeros(estimator._dims)
+        self._stats = RunningStats()
+        self._trajectory: list = []
+        self._cumulative_cost = 0
+        self.count = 0
+
+    def add(self, round_estimate) -> None:
+        self.count += 1
+        self._vector_sum += round_estimate.values
+        self._stats.add(self._statistic(round_estimate.values))
+        self._cumulative_cost += round_estimate.cost
+        self._trajectory.append(
+            (float(self._cumulative_cost), self.running)
+        )
+
+    def charge(self, cost: int) -> None:
+        """Record queries that produced no estimate (an aborted round).
+
+        Mirrors the sequential sessions, whose ``total_cost`` is the
+        client's charge delta — including a round a hard server limit
+        killed mid-walk — while the trajectory gets no point for it.
+        """
+        self._cumulative_cost += cost
+
+    @property
+    def running(self) -> float:
+        """The running statistic over the rounds folded so far."""
+        return self._statistic(self._vector_sum / self.count)
+
+    @property
+    def std_error(self) -> float:
+        return self._stats.std_error
+
+    def snapshot(
+        self, mode: str, spec, stop_reason: Optional[str] = None
+    ) -> AggregateReport:
+        return AggregateReport(
+            mode=mode,
+            estimate=self.running,
+            std_error=self._stats.std_error,
+            ci95=self._stats.confidence_interval(),
+            rounds=self.count,
+            total_queries=self._cumulative_cost,
+            cost_units=float(self._cumulative_cost),
+            stop_reason=stop_reason if stop_reason is not None else "streaming",
+            partial=stop_reason is None,
+            trajectory=list(self._trajectory),
+            spec=spec,
+        )
+
+
+class EstimationStream:
+    """An in-flight estimation session: iterate, observe, cancel.
+
+    Yields partial :class:`AggregateReport` snapshots
+    (``partial=True``, ``stop_reason == "streaming"``).  After natural
+    exhaustion — or after :meth:`cancel` once at least one snapshot was
+    produced — :attr:`result` holds the final settled report with a
+    concrete stop reason (``None`` only when cancelled before the first
+    snapshot: no round ran, there is nothing to report).  :attr:`budget`
+    exposes the session's :class:`QueryBudget` ledger as soon as one
+    exists; cancellation never leaves a lease open on it.
+    """
+
+    def __init__(self, make_generator: Callable[["EstimationStream"], Iterator[AggregateReport]]) -> None:
+        self.budget: Optional[QueryBudget] = None
+        self.result: Optional[AggregateReport] = None
+        self.cancelled = False
+        self._gen = make_generator(self)
+
+    def __iter__(self) -> "EstimationStream":
+        return self
+
+    def __next__(self) -> AggregateReport:
+        return next(self._gen)
+
+    def cancel(self) -> None:
+        """Stop the session at the last yielded snapshot.
+
+        Outstanding budget leases are cancelled (the ledger stays
+        settled) and :attr:`result` is finalized with
+        ``stop_reason == "cancelled"`` — unless no snapshot was ever
+        produced, in which case nothing ran and :attr:`result` stays
+        ``None``.  A no-op once the stream has finished naturally.
+        """
+        already_done = self.result is not None
+        self._gen.close()
+        if not already_done:
+            self.cancelled = True
+
+    def __enter__(self) -> "EstimationStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+
+class Estimation:
+    """Compile and run one :class:`EstimationSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The validated request.
+    table:
+        Optional pre-built :class:`~repro.hidden_db.table.HiddenTable`
+        standing in for the spec's dataset (required when the dataset is
+        ``"custom"``).
+    federation:
+        Optional pre-built :class:`~repro.federation.target.FederatedTarget`
+        standing in for the spec's generated federation fixture.
+
+    After :meth:`run` / :meth:`stream`, :attr:`table` (dataset modes) or
+    :attr:`federation` (federated mode) expose the compiled target the
+    session actually ran against.
+    """
+
+    def __init__(self, spec: EstimationSpec, table=None, federation=None) -> None:
+        if not isinstance(spec, EstimationSpec):
+            raise TypeError(
+                f"Estimation needs an EstimationSpec, got "
+                f"{type(spec).__name__}"
+            )
+        self.spec = spec
+        self._table = table
+        self._federation = federation
+        self.table = None
+        self.federation = None
+
+    @property
+    def mode(self) -> str:
+        """The spec's resolved regime."""
+        return self.spec.mode
+
+    # -- one-shot execution ------------------------------------------------
+
+    def run(self) -> AggregateReport:
+        """Execute the request to completion and report once."""
+        mode = self.mode
+        if mode == "federated":
+            target = build_federation(self.spec, self._federation)
+            self.federation = target
+            estimator = build_federated_estimator(self.spec, target)
+            result = estimator.run(
+                query_budget=self.spec.regime.query_budget,
+                workers=self.spec.regime.workers,
+            )
+            return report_from_federated(result, self.spec)
+        if mode == "tracking":
+            from repro.core.dynamic import track
+
+            table = build_table(self.spec, self._table, apply_backend=False)
+            loop_kwargs, build_kwargs = tracker_kwargs(self.spec)
+            result = track(table, **loop_kwargs, **build_kwargs)
+            self.table = table
+            return report_from_track(result, self.spec)
+        # static / budgeted — the original HD-UNBIASED session.
+        table = build_table(self.spec, self._table)
+        self.table = table
+        estimator = build_estimator(self.spec, table)
+        regime = self.spec.regime
+        if regime.target_precision is not None:
+            result = estimator.run_until(
+                regime.target_precision,
+                max_rounds=(
+                    regime.rounds if regime.rounds is not None else 10_000
+                ),
+                query_budget=regime.query_budget,
+            )
+        else:
+            result = estimator.run(
+                rounds=resolve_rounds(self.spec),
+                query_budget=regime.query_budget,
+                workers=regime.workers,
+            )
+        return report_from_estimation(result, mode, self.spec)
+
+    # -- ground truth (experiments only — reads the hidden table) ---------
+
+    def ground_truth(self) -> float:
+        """The true value of the requested aggregate (compiles the target
+        if no run has happened yet).  Experiments-only: a real hidden
+        database would not answer this."""
+        aggregate = self.spec.aggregate
+        if self.mode == "federated":
+            target = self.federation
+            if target is None:
+                target = build_federation(self.spec, self._federation)
+                self.federation = target
+            if aggregate.kind == "sum":
+                return float(target.true_total_sum(aggregate.measure))
+            return float(target.true_total_size())
+        table = self.table
+        if table is None:
+            table = build_table(
+                self.spec, self._table, apply_backend=self.mode != "tracking"
+            )
+            self.table = table
+        from repro.core.dynamic import _ground_truth
+        from repro.core.estimators import resolve_condition
+
+        condition = resolve_condition(table.schema, aggregate.condition)
+        if aggregate.kind == "avg":
+            total = _ground_truth(table, "sum", aggregate.measure, condition)
+            count = _ground_truth(table, "count", None, condition)
+            return total / count if count else float("nan")
+        kind = "count" if aggregate.kind == "size" else aggregate.kind
+        return _ground_truth(table, kind, aggregate.measure, condition)
+
+    # -- streaming ---------------------------------------------------------
+
+    def stream(self) -> EstimationStream:
+        """An observable session yielding per-round / per-epoch snapshots.
+
+        Static and budgeted specs stream through the engine's wave
+        protocol (every round on a fresh client — the parallel-session
+        cost model) so the snapshot sequence is bit-identical at every
+        ``workers`` count; a ``target_precision`` spec streams the
+        sequential adaptive session.  Tracking specs yield one snapshot
+        per epoch, federated specs one per scheduler phase.
+        """
+        mode = self.mode
+        if mode == "federated":
+            return EstimationStream(self._federated_snapshots)
+        if mode == "tracking":
+            return EstimationStream(self._tracking_snapshots)
+        if self.spec.regime.target_precision is not None:
+            return EstimationStream(self._precision_snapshots)
+        return EstimationStream(self._engine_snapshots)
+
+    # -- generators (one per mode) ----------------------------------------
+
+    def _engine_snapshots(self, stream: EstimationStream):
+        """Wave-protocol streaming for static / budgeted specs.
+
+        Mirrors :meth:`ParallelSession.run_budgeted`: leases and round
+        seeds are issued in round order ahead of each wave, rounds are
+        settled in round order, and a snapshot is yielded per admitted
+        round — so the sequence is invariant under the worker count and
+        only the discarded speculative work varies.
+        """
+        spec = self.spec
+        table = build_table(spec, self._table)
+        self.table = table
+        estimator = build_estimator(spec, table)
+        rounds = resolve_rounds(spec)
+        workers = spec.regime.workers
+        # Same session-seed derivation as the facade's run() at
+        # workers > 1 — one draw from the estimator's RNG.
+        session_seed = int(estimator.rng.integers(0, 2**63 - 1))
+        session = estimator.parallel_session(workers, seed=session_seed)
+        master = spawn_rng(session_seed)
+        budget = as_budget(spec.regime.query_budget)
+        stream.budget = budget
+        accumulator = _RoundAccumulator(estimator)
+        pending = []
+        stop_reason = None
+        try:
+            while True:
+                if rounds is not None and accumulator.count >= rounds:
+                    stop_reason = "rounds"
+                    break
+                if budget.exhausted:
+                    stop_reason = "budget"
+                    break
+                wave = workers
+                if rounds is not None:
+                    wave = min(wave, rounds - accumulator.count)
+                leases = [budget.lease() for _ in range(wave)]
+                pending = list(leases)
+                seeds = [
+                    int(master.integers(0, 2**63 - 1)) for _ in range(wave)
+                ]
+                outcomes = session.run_rounds(seeds)
+                for lease, (round_estimate, _stats) in zip(leases, outcomes):
+                    if budget.exhausted:
+                        budget.cancel(lease)
+                        pending.remove(lease)
+                        continue
+                    budget.settle(lease, round_estimate.cost)
+                    pending.remove(lease)
+                    accumulator.add(round_estimate)
+                    yield accumulator.snapshot(self.mode, spec)
+            if not accumulator.count:
+                raise ValueError("the query budget allowed no rounds at all")
+            stream.result = accumulator.snapshot(self.mode, spec, stop_reason)
+        finally:
+            for lease in pending:
+                budget.cancel(lease)
+            if stream.result is None and accumulator.count:
+                stream.result = accumulator.snapshot(
+                    self.mode, spec, "cancelled"
+                )
+
+    def _precision_snapshots(self, stream: EstimationStream):
+        """Sequential adaptive streaming (``target_precision`` specs).
+
+        The streaming twin of :meth:`HDUnbiasedSize.run_until`: same
+        client, same stopping rules, one snapshot per round.
+        """
+        spec = self.spec
+        table = build_table(spec, self._table)
+        self.table = table
+        estimator = build_estimator(spec, table)
+        regime = spec.regime
+        target = regime.target_precision
+        max_rounds = regime.rounds if regime.rounds is not None else 10_000
+        min_rounds, stall_rounds, z = 5, 50, 1.96
+        budget = as_budget(regime.query_budget)
+        stream.budget = budget
+        accumulator = _RoundAccumulator(estimator)
+        stalled = 0
+        stop_reason = "max_rounds"
+        lease = None
+        try:
+            while accumulator.count < max_rounds:
+                if budget.exhausted:
+                    stop_reason = "budget"
+                    break
+                if budget.total is not None and stalled >= stall_rounds:
+                    stop_reason = "stalled"
+                    break
+                lease = budget.lease()
+                cost_before = estimator.client.cost
+                try:
+                    round_estimate = estimator.run_once()
+                except QueryLimitExceeded:
+                    aborted_cost = estimator.client.cost - cost_before
+                    budget.settle(lease, aborted_cost)
+                    lease = None
+                    if accumulator.count:
+                        accumulator.charge(aborted_cost)
+                        stop_reason = "hard_limit"
+                        break
+                    raise
+                budget.settle(lease, round_estimate.cost)
+                lease = None
+                stalled = stalled + 1 if round_estimate.cost == 0 else 0
+                accumulator.add(round_estimate)
+                yield accumulator.snapshot(self.mode, spec)
+                running = accumulator.running
+                if accumulator.count >= min_rounds and running != 0:
+                    if z * accumulator.std_error <= target * abs(running):
+                        stop_reason = "precision"
+                        break
+            if not accumulator.count:
+                raise ValueError("the query budget allowed no rounds at all")
+            stream.result = accumulator.snapshot(self.mode, spec, stop_reason)
+        finally:
+            if lease is not None and lease.open:
+                budget.cancel(lease)
+            if stream.result is None and accumulator.count:
+                stream.result = accumulator.snapshot(
+                    self.mode, spec, "cancelled"
+                )
+
+    def _tracking_snapshots(self, stream: EstimationStream):
+        """One snapshot per epoch for tracking specs."""
+        from repro.core.dynamic import TrackResult, _ground_truth, build_tracker
+
+        spec = self.spec
+        table = build_table(spec, self._table, apply_backend=False)
+        loop_kwargs, build_kwargs = tracker_kwargs(spec)
+        estimator, churn_gen, table = build_tracker(table, **build_kwargs)
+        self.table = table
+        result = TrackResult(policy=build_kwargs["policy"])
+        try:
+            for epoch in range(loop_kwargs["epochs"]):
+                if epoch:
+                    churn_gen.epoch()
+                epoch_estimate = estimator.step()
+                epoch_estimate.truth = _ground_truth(
+                    table,
+                    build_kwargs["aggregate"],
+                    build_kwargs["measure"],
+                    estimator._template.condition,
+                )
+                result.epochs.append(epoch_estimate)
+                yield report_from_track(result, spec, partial=True)
+            stream.result = report_from_track(result, spec)
+        finally:
+            if stream.result is None and result.epochs:
+                stream.result = report_from_track(
+                    result, spec, stop_reason="cancelled"
+                )
+
+    def _federated_snapshots(self, stream: EstimationStream):
+        """One snapshot per scheduler phase for federated specs."""
+        spec = self.spec
+        target = build_federation(spec, self._federation)
+        self.federation = target
+        estimator = build_federated_estimator(spec, target)
+        events = estimator._execute(
+            spec.regime.query_budget, spec.regime.workers
+        )
+        pilots = []
+        allocations = None
+        sources = []
+        try:
+            for event, payload in events:
+                if event == "ledger":
+                    stream.budget = payload
+                elif event == "pilots":
+                    pilots = payload
+                elif event == "allocations":
+                    allocations = payload
+                    yield self._federated_partial(
+                        pilots, allocations, sources, stream
+                    )
+                elif event == "source":
+                    sources.append(payload)
+                    yield self._federated_partial(
+                        pilots, allocations, sources, stream
+                    )
+                elif event == "result":
+                    stream.result = report_from_federated(payload, spec)
+        finally:
+            events.close()
+            if stream.result is None and (pilots or sources):
+                stream.result = self._federated_partial(
+                    pilots, allocations, sources, stream,
+                    stop_reason="cancelled",
+                )
+
+    def _federated_partial(
+        self, pilots, allocations, sources, stream,
+        stop_reason: Optional[str] = None,
+    ) -> AggregateReport:
+        """A mid-flight federated report (completed sources only).
+
+        Before any main phase finishes, the (navigational, biased-by-
+        design) pilot means stand in for the estimate so observers see a
+        number move; once sources complete, only their unbiased means
+        count — exactly the final report's semantics restricted to the
+        finished prefix.
+        """
+        if sources:
+            estimate = float(sum(s.mean for s in sources))
+            variance = sum(
+                s.variance_of_mean
+                for s in sources
+                if math.isfinite(s.variance_of_mean)
+            )
+            std_error = math.sqrt(variance)
+        else:
+            estimate = float(sum(p.mean for p in pilots))
+            std_error = float("nan")
+        half = 1.96 * std_error
+        ledger_spent = float(stream.budget.spent) if stream.budget else 0.0
+        return AggregateReport(
+            mode="federated",
+            estimate=estimate,
+            std_error=std_error,
+            ci95=(estimate - half, estimate + half),
+            rounds=int(sum(s.rounds for s in sources)),
+            total_queries=int(sum(s.queries for s in sources)),
+            cost_units=float(sum(s.cost_units for s in sources)),
+            stop_reason=(
+                stop_reason if stop_reason is not None else "streaming"
+            ),
+            partial=stop_reason is None,
+            per_source=[s.to_dict() for s in sources] or None,
+            allocations=dict(allocations) if allocations else None,
+            policy=self.spec.method.policy or DEFAULT_FEDERATED_POLICY,
+            budget=float(self.spec.regime.query_budget),
+            pilot_cost_units=ledger_spent,
+            spec=self.spec,
+        )
+
+
+def run_spec(spec: EstimationSpec, table=None, federation=None) -> AggregateReport:
+    """One-call convenience: ``Estimation(spec, ...).run()``."""
+    return Estimation(spec, table=table, federation=federation).run()

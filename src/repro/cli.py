@@ -7,10 +7,19 @@ Examples::
     hiddendb-repro run fig14 --scale tiny --seed 3
     hiddendb-repro run all --full
     hiddendb-repro estimate --dataset yahoo --m 20000 --rounds 20
-    hiddendb-repro estimate --query-budget 2000 --workers 4
+    hiddendb-repro estimate --query-budget 2000 --workers 4 --json
     hiddendb-repro estimate --target-precision 0.05 --query-budget 5000
     hiddendb-repro federate --sources 3 --policy neyman --budget 3000
     hiddendb-repro track --epochs 5 --churn 0.05 --policy reissue
+    hiddendb-repro run-spec request.json --json
+
+Every estimation subcommand is a thin translator from argparse flags to
+an :class:`~repro.api.spec.EstimationSpec` executed through the
+:class:`~repro.api.session.Estimation` facade — the same front door
+programmatic callers use.  ``run-spec`` skips the flags entirely and
+executes a serialized spec (``estimate/track/federate`` requests are all
+expressible as spec files; ``-`` reads stdin), printing the unified
+:class:`~repro.api.report.AggregateReport`.
 
 ``federate`` estimates the total size of a *federation* of heterogeneous
 hidden databases under one global query budget: seeded pilot rounds per
@@ -37,14 +46,21 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core.estimators import HDUnbiasedSize
-from repro.datasets import bool_iid, bool_mixed, yahoo_auto
+from repro import __version__
+from repro.api import (
+    ChurnSpec,
+    DatasetSpec,
+    Estimation,
+    EstimationSpec,
+    FederationSpec,
+    MethodSpec,
+    RegimeSpec,
+    TargetSpec,
+)
 from repro.experiments.config import SCALES, default_scale_name
 from repro.experiments.figures import FIGURE_RUNNERS
 from repro.federation.policies import available_policies
 from repro.hidden_db.backends import available_backends
-from repro.hidden_db.counters import HiddenDBClient
-from repro.hidden_db.interface import TopKInterface
 
 __all__ = ["main", "build_parser"]
 
@@ -55,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="hiddendb-repro",
         description="Reproduction of 'Unbiased Estimation of Size and Other "
                     "Aggregates Over Hidden Web Databases' (SIGMOD 2010)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -96,6 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--workers", type=int, default=1,
                      help="fan rounds out over N workers (ParallelSession; "
                           "results are worker-count independent)")
+    est.add_argument("--json", action="store_true",
+                     help="emit the full AggregateReport as JSON")
 
     fed = sub.add_parser(
         "federate",
@@ -165,6 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "independent)")
     trk.add_argument("--json", action="store_true", help="emit JSON")
 
+    spec_cmd = sub.add_parser(
+        "run-spec",
+        help="execute a serialized EstimationSpec (JSON file; '-' = stdin)",
+    )
+    spec_cmd.add_argument("spec", help="path to a spec JSON file ('-' = stdin)")
+    spec_cmd.add_argument("--stream", action="store_true",
+                          help="print one progress line per report snapshot "
+                               "while the session runs")
+    spec_cmd.add_argument("--json", action="store_true",
+                          help="emit the full AggregateReport as JSON")
+
     tune = sub.add_parser(
         "tune", help="suggest (r, D_UB) for a budget (Section 5.1 pilots)"
     )
@@ -199,7 +231,73 @@ def _cmd_run(args) -> int:
     return 0
 
 
+# -- argparse -> EstimationSpec translators ---------------------------------
+
+
+def _estimate_spec(args) -> EstimationSpec:
+    return EstimationSpec(
+        target=TargetSpec(
+            dataset=DatasetSpec(name=args.dataset, m=args.m, seed=args.seed),
+            k=args.k,
+            backend=args.backend,
+        ),
+        regime=RegimeSpec(
+            rounds=args.rounds,
+            query_budget=args.query_budget,
+            target_precision=args.target_precision,
+            seed=args.seed,
+            workers=args.workers,
+        ),
+        method=MethodSpec(r=args.r, dub=args.dub),
+    )
+
+
+def _federate_spec(args) -> EstimationSpec:
+    return EstimationSpec(
+        target=TargetSpec(
+            federation=FederationSpec(
+                sources=args.sources,
+                base_m=args.m,
+                overlap=args.overlap,
+                seed=args.seed,
+            ),
+            k=args.k,
+            backend=args.backend,
+        ),
+        regime=RegimeSpec(
+            query_budget=args.budget, seed=args.seed, workers=args.workers
+        ),
+        method=MethodSpec(policy=args.policy, pilot_rounds=args.pilot_rounds),
+    )
+
+
+def _track_spec(args) -> EstimationSpec:
+    return EstimationSpec(
+        target=TargetSpec(
+            dataset=DatasetSpec(name=args.dataset, m=args.m, seed=args.seed),
+            k=args.k,
+            backend=args.backend,
+            churn=ChurnSpec(
+                epochs=args.epochs, rate=args.churn, seed=args.churn_seed
+            ),
+        ),
+        regime=RegimeSpec(
+            rounds=args.rounds, seed=args.seed, workers=args.workers
+        ),
+        method=MethodSpec(
+            policy=args.policy,
+            reissue_per_epoch=args.reissue,  # None = library default
+            epoch_query_budget=args.epoch_budget,
+        ),
+    )
+
+
+# -- subcommands ------------------------------------------------------------
+
+
 def _cmd_estimate(args) -> int:
+    # The spec layer re-validates all of this; these pre-checks exist only
+    # to phrase the errors in terms of the flags the user actually typed.
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
@@ -217,94 +315,63 @@ def _cmd_estimate(args) -> int:
                   "does not compose with --workers (drop one of the two)",
                   file=sys.stderr)
             return 2
-    makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
-    table = makers[args.dataset](m=args.m, seed=args.seed)
-    table = table.with_backend(args.backend)
-    client = HiddenDBClient(TopKInterface(table, args.k))
-    estimator = HDUnbiasedSize(
-        client, r=args.r, dub=args.dub, seed=args.seed
-    )
-    if args.target_precision is not None:
-        result = estimator.run_until(
-            args.target_precision,
-            max_rounds=args.rounds if args.rounds is not None else 10_000,
-            query_budget=args.query_budget,
-        )
-    else:
-        rounds = args.rounds
-        if rounds is None and args.query_budget is None:
-            rounds = 20
-        result = estimator.run(
-            rounds=rounds,
-            query_budget=args.query_budget,
-            workers=args.workers,
-        )
+    try:
+        estimation = Estimation(_estimate_spec(args))
+        report = estimation.run()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+        return 0
+    table = estimation.table
     print(f"dataset={args.dataset} m={table.num_tuples} k={args.k} "
           f"backend={table.backend_name} workers={args.workers}")
-    print(f"estimate={result.mean:,.1f}  ci95=({result.ci95[0]:,.1f}, "
-          f"{result.ci95[1]:,.1f})  queries={result.total_cost}  "
-          f"rounds={result.rounds}  stop={result.stop_reason}")
+    print(f"estimate={report.estimate:,.1f}  ci95=({report.ci95[0]:,.1f}, "
+          f"{report.ci95[1]:,.1f})  queries={report.total_queries}  "
+          f"rounds={report.rounds}  stop={report.stop_reason}")
     return 0
 
 
 def _cmd_federate(args) -> int:
-    from repro.datasets.federation import heterogeneous_federation
-    from repro.federation import FederatedSizeEstimator
-
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     try:
-        target = heterogeneous_federation(
-            num_sources=args.sources,
-            base_m=args.m,
-            k=args.k,
-            overlap=args.overlap,
-            backend=args.backend,
-            seed=args.seed,
-        )
-        estimator = FederatedSizeEstimator(
-            target,
-            policy=args.policy,
-            pilot_rounds=args.pilot_rounds,
-            seed=args.seed,
-        )
-        result = estimator.run(
-            query_budget=args.budget, workers=args.workers
-        )
+        estimation = Estimation(_federate_spec(args))
+        report = estimation.run()
     except ValueError as exc:
         # Parameter validation (e.g. a budget the pilots exhaust, a
         # 1-source federation, an undrawable fixture).
         print(str(exc), file=sys.stderr)
         return 2
+    target = estimation.federation
     truth = target.true_total_size()
     if args.json:
-        payload = result.to_dict()
-        payload["truth"] = truth
-        print(json.dumps(payload))
+        from repro.api.report import legacy_federate_payload
+
+        print(json.dumps(legacy_federate_payload(report, truth)))
         return 0
     print(f"federation={target.name} sources={args.sources} "
-          f"policy={result.policy} budget={args.budget} "
+          f"policy={report.policy} budget={args.budget} "
           f"workers={args.workers}")
-    for source_estimate in result.per_source:
-        granted = result.allocations[source_estimate.name]
-        print(f"  {source_estimate.name:<12} estimate "
-              f"{source_estimate.mean:>12,.1f}  se "
-              f"{source_estimate.std_error:>10,.1f}  rounds "
-              f"{source_estimate.rounds:>4}  queries "
-              f"{source_estimate.queries:>6}  granted {granted:>6}  "
-              f"stop {source_estimate.stop_reason}")
-    rel = abs(result.total - truth) / truth if truth else float("nan")
-    print(f"total={result.total:,.1f}  ci95=({result.ci95[0]:,.1f}, "
-          f"{result.ci95[1]:,.1f})  truth={truth:,}  err={100 * rel:.1f}%  "
-          f"spent={result.total_cost_units:,.0f}/{args.budget} units "
-          f"({result.total_queries} queries)")
+    for source_estimate in report.per_source:
+        granted = report.allocations[source_estimate["name"]]
+        print(f"  {source_estimate['name']:<12} estimate "
+              f"{source_estimate['mean']:>12,.1f}  se "
+              f"{source_estimate['std_error']:>10,.1f}  rounds "
+              f"{source_estimate['rounds']:>4}  queries "
+              f"{source_estimate['queries']:>6}  granted {granted:>6}  "
+              f"stop {source_estimate['stop_reason']}")
+    rel = abs(report.estimate - truth) / truth if truth else float("nan")
+    print(f"total={report.estimate:,.1f}  ci95=({report.ci95[0]:,.1f}, "
+          f"{report.ci95[1]:,.1f})  truth={truth:,}  err={100 * rel:.1f}%  "
+          f"spent={report.cost_units:,.0f}/{args.budget} units "
+          f"({report.total_queries} queries)")
     return 0
 
 
 def _cmd_track(args) -> int:
-    from repro.core.dynamic import track
-
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
@@ -318,44 +385,72 @@ def _cmd_track(args) -> int:
               "(the restart baseline pays its full round count each epoch)",
               file=sys.stderr)
         return 2
-    makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
-    table = makers[args.dataset](m=args.m, seed=args.seed)
     try:
-        result = track(
-            table,
-            epochs=args.epochs,
-            churn=args.churn,
-            policy=args.policy,
-            k=args.k,
-            rounds=args.rounds,
-            reissue_per_epoch=args.reissue,  # None = library default
-            epoch_query_budget=args.epoch_budget,
-            seed=args.seed,
-            churn_seed=args.churn_seed,
-            workers=args.workers,
-            backend=args.backend,
-        )
+        report = Estimation(_track_spec(args)).run()
     except ValueError as exc:
-        # Parameter validation from the estimators/churn generator
-        # (e.g. --rounds 1, --reissue 0, --churn -0.1).
+        # Parameter validation from the spec or the estimators/churn
+        # generator (e.g. --rounds 1, --reissue 0, --churn -0.1).
         print(str(exc), file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(result.to_dict()))
+        from repro.api.report import legacy_track_payload
+
+        print(json.dumps(legacy_track_payload(report)))
         return 0
     print(f"dataset={args.dataset} m0={args.m} k={args.k} churn={args.churn} "
           f"policy={args.policy} backend={args.backend} workers={args.workers}")
-    for e in result.epochs:
-        rel = f"{100 * e.relative_error:5.1f}%" if e.truth else "   n/a"
-        print(f"epoch {e.epoch:>3}  version {e.version:>3}  "
-              f"estimate {e.estimate:>12,.1f}  truth {e.truth:>10,.0f}  "
-              f"err {rel}  queries {e.cost:>6}  reissued {e.reissued}")
-    print(f"total queries: {result.total_cost}")
+    for e in report.per_epoch:
+        if e["truth"]:
+            rel = f"{100 * abs(e['estimate'] - e['truth']) / abs(e['truth']):5.1f}%"
+        else:
+            rel = "   n/a"
+        print(f"epoch {e['epoch']:>3}  version {e['version']:>3}  "
+              f"estimate {e['estimate']:>12,.1f}  truth {e['truth']:>10,.0f}  "
+              f"err {rel}  queries {e['cost']:>6}  reissued {e['reissued']}")
+    print(f"total queries: {report.total_queries}")
+    return 0
+
+
+def _cmd_run_spec(args) -> int:
+    try:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        spec = EstimationSpec.from_json(text)
+        estimation = Estimation(spec)
+        if args.stream:
+            stream = estimation.stream()
+            for snapshot in stream:
+                print(f"  [{spec.mode}] rounds={snapshot.rounds} "
+                      f"estimate={snapshot.estimate:,.1f} "
+                      f"queries={snapshot.total_queries}",
+                      file=sys.stderr)
+            report = stream.result
+        else:
+            report = estimation.run()
+    except OSError as exc:
+        print(f"cannot read spec: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(f"mode={report.mode} estimate={report.estimate:,.1f} "
+          f"ci95=({report.ci95[0]:,.1f}, {report.ci95[1]:,.1f}) "
+          f"queries={report.total_queries} rounds={report.rounds} "
+          f"stop={report.stop_reason}")
     return 0
 
 
 def _cmd_tune(args) -> int:
     from repro.core import suggest_parameters
+    from repro.datasets import bool_iid, bool_mixed, yahoo_auto
+    from repro.hidden_db.counters import HiddenDBClient
+    from repro.hidden_db.interface import TopKInterface
 
     makers = {"iid": bool_iid, "mixed": bool_mixed, "yahoo": yahoo_auto}
     table = makers[args.dataset](m=args.m, seed=args.seed)
@@ -385,6 +480,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_federate(args)
     if args.command == "track":
         return _cmd_track(args)
+    if args.command == "run-spec":
+        return _cmd_run_spec(args)
     if args.command == "tune":
         return _cmd_tune(args)
     raise AssertionError("unreachable")

@@ -69,6 +69,7 @@ __all__ = [
     "TrackResult",
     "RSReissueEstimator",
     "RestartEstimator",
+    "build_tracker",
     "track",
 ]
 
@@ -383,6 +384,66 @@ def _ground_truth(table, aggregate: str, measure: Optional[str], condition) -> f
     return float(table.sum_measure(root, measure))
 
 
+def build_tracker(
+    table,
+    *,
+    churn=0.05,
+    policy: str = "reissue",
+    k: int = 100,
+    rounds: int = 32,
+    reissue_per_epoch: Optional[int] = None,
+    epoch_query_budget: Optional[int] = None,
+    seed: RandomSource = None,
+    churn_seed: RandomSource = 0,
+    backend: Optional[str] = None,
+    **estimator_kwargs,
+):
+    """Wire up one tracking session: ``(estimator, churn_gen, table)``.
+
+    This is :func:`track`'s construction phase, exposed so callers that
+    drive epochs themselves (the streaming front door in
+    :mod:`repro.api`) build the exact same stack ``track`` runs.  The
+    returned *table* is the one the estimator reads (re-served through
+    *backend* when given) and the one *churn_gen* mutates.
+    """
+    from repro.datasets.churn import ChurnGenerator
+    from repro.hidden_db.interface import TopKInterface
+
+    if policy == "restart" and (
+        epoch_query_budget is not None or reissue_per_epoch is not None
+    ):
+        raise ValueError(
+            "reissue_per_epoch/epoch_query_budget only apply to the "
+            "reissue policy; the restart baseline always pays its full "
+            "per-epoch round count"
+        )
+    if backend is not None:
+        table = table.with_backend(backend)
+    if isinstance(churn, ChurnGenerator):
+        churn_gen = churn
+    else:
+        churn_gen = ChurnGenerator(table, rate=float(churn), seed=churn_seed)
+    client = HiddenDBClient(TopKInterface(table, k))
+    common = dict(seed=seed, **estimator_kwargs)
+    if policy == "reissue":
+        estimator = RSReissueEstimator(
+            client,
+            rounds=rounds,
+            reissue_per_epoch=reissue_per_epoch,
+            epoch_query_budget=epoch_query_budget,
+            **common,
+        )
+    elif policy == "restart":
+        estimator = RestartEstimator(
+            client, rounds_per_epoch=rounds, **common
+        )
+    else:
+        raise ValueError(
+            f"unknown policy {policy!r}; expected 'reissue' or 'restart'"
+        )
+    return estimator, churn_gen, table
+
+
 def track(
     table,
     *,
@@ -420,51 +481,26 @@ def track(
     every epoch) while replications vary *seed* — exactly the layout the
     unbiasedness experiments need.  Output is worker-count invariant.
     """
-    from repro.datasets.churn import ChurnGenerator
-    from repro.hidden_db.interface import TopKInterface
-
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
-    if policy == "restart" and (
-        epoch_query_budget is not None or reissue_per_epoch is not None
-    ):
-        raise ValueError(
-            "reissue_per_epoch/epoch_query_budget only apply to the "
-            "reissue policy; the restart baseline always pays its full "
-            "per-epoch round count"
-        )
-    if backend is not None:
-        table = table.with_backend(backend)
-    if isinstance(churn, ChurnGenerator):
-        churn_gen = churn
-    else:
-        churn_gen = ChurnGenerator(table, rate=float(churn), seed=churn_seed)
-    client = HiddenDBClient(TopKInterface(table, k))
-    common = dict(
+    estimator, churn_gen, table = build_tracker(
+        table,
+        churn=churn,
+        policy=policy,
+        k=k,
+        rounds=rounds,
+        reissue_per_epoch=reissue_per_epoch,
+        epoch_query_budget=epoch_query_budget,
+        seed=seed,
+        churn_seed=churn_seed,
+        backend=backend,
         aggregate=aggregate,
         measure=measure,
         condition=condition,
-        seed=seed,
         workers=workers,
         executor=executor,
         **estimator_kwargs,
     )
-    if policy == "reissue":
-        estimator = RSReissueEstimator(
-            client,
-            rounds=rounds,
-            reissue_per_epoch=reissue_per_epoch,
-            epoch_query_budget=epoch_query_budget,
-            **common,
-        )
-    elif policy == "restart":
-        estimator = RestartEstimator(
-            client, rounds_per_epoch=rounds, **common
-        )
-    else:
-        raise ValueError(
-            f"unknown policy {policy!r}; expected 'reissue' or 'restart'"
-        )
     result = TrackResult(policy=policy)
     for epoch in range(epochs):
         if epoch:

@@ -83,7 +83,8 @@ def merge_rounds(
     Reproduces exactly what a sequential session assembles: per-round
     scalars, the running statistic against *cumulative* cost (rounds are
     laid on the cost axis in round-index order), and the normal CI over the
-    scalars.
+    scalars.  A ``None`` *stop_reason* is coerced to ``"rounds"`` by the
+    result type — every session end reports a concrete reason.
     """
     from repro.core.estimators import EstimationResult
 

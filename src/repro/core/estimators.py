@@ -98,8 +98,15 @@ class EstimationResult:
     trajectory: StreamingMeanSeries  # (cumulative cost, running statistic)
     raw_rounds: List[RoundEstimate] = field(default_factory=list)
     #: Why the session ended: "rounds", "budget", "precision", "stalled",
-    #: "hard_limit" or "max_rounds" (None for pre-ledger constructions).
-    stop_reason: Optional[str] = None
+    #: "hard_limit", "max_rounds" or "cancelled".  Always concrete —
+    #: legacy constructions that predate the budget ledger (and any
+    #: caller still passing ``None``) are coerced to "rounds", the only
+    #: stop the pre-ledger sessions had.
+    stop_reason: str = "rounds"
+
+    def __post_init__(self) -> None:
+        if self.stop_reason is None:
+            self.stop_reason = "rounds"
 
     @property
     def variance(self) -> float:

@@ -30,6 +30,7 @@ __all__ = [
     "collect_trajectories",
     "collect_epoch_trajectories",
     "collect_federated_runs",
+    "collect_spec_runs",
     "metrics_at_costs",
     "hd_size_factory",
     "agg_factory",
@@ -173,6 +174,42 @@ def collect_federated_runs(
                 seed=seed,
             )
         return estimator.run(query_budget)
+
+    seeds = [base_seed + 7919 * i for i in range(replications)]
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(one_replication, seeds))
+    return [one_replication(seed) for seed in seeds]
+
+
+def collect_spec_runs(
+    spec,
+    replications: int,
+    base_seed: int,
+    *,
+    workers: int = 1,
+):
+    """Run *replications* of one :class:`~repro.api.spec.EstimationSpec`.
+
+    The spec-level analogue of :func:`collect_trajectories`: every
+    replication executes ``Estimation(spec.with_seed(seed)).run()`` with
+    a seed derived from *base_seed* and the replication index, and the
+    list of :class:`~repro.api.report.AggregateReport`\\ s comes back in
+    replication order.  Everything else the spec pins — dataset seed,
+    churn seed, federation fixture — is shared, so the replication
+    spread measures estimator variance against one fixed target (each
+    replication recompiles its own target from the spec, so tracking
+    runs do not cross-mutate).  ``workers`` fans replications over a
+    thread pool; results are identical to a sequential run regardless
+    of the pool size.
+    """
+    from repro.api import Estimation
+
+    if replications < 1:
+        raise ValueError("need at least one replication")
+
+    def one_replication(seed: int):
+        return Estimation(spec.with_seed(seed)).run()
 
     seeds = [base_seed + 7919 * i for i in range(replications)]
     if workers > 1:

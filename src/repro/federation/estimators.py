@@ -213,6 +213,27 @@ class _FederatedEstimatorBase:
         nothing left to schedule.  Output is bit-identical for a fixed
         federation seed regardless of *workers*.
         """
+        result: Optional[FederatedResult] = None
+        for event, payload in self._execute(query_budget, workers):
+            if event == "result":
+                result = payload
+        assert result is not None  # _execute always ends with a result
+        return result
+
+    def _execute(self, query_budget: Union[int, float], workers: int):
+        """The scheduler as an event stream (``run`` drains it).
+
+        Yields ``(event, payload)`` pairs in execution order: ``"ledger"``
+        (the global :class:`QueryBudget`, before anything is charged),
+        ``"pilots"`` (the per-source :class:`SourcePilot` list),
+        ``"allocations"`` (the policy's per-source grants), one
+        ``"source"`` per completed main phase (its
+        :class:`SourceEstimate`), and finally ``"result"`` (the
+        :class:`FederatedResult`).  Every ledger lease is settled before
+        each yield, so a consumer can stop between events without leaking
+        budget — that is what :meth:`repro.api.session.Estimation.stream`
+        builds on.
+        """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         ledger = QueryBudget(query_budget)
@@ -221,6 +242,7 @@ class _FederatedEstimatorBase:
                 f"a federated run needs a positive finite budget, got "
                 f"{query_budget!r}"
             )
+        yield ("ledger", ledger)
         # Per-source session seeds, fixed up front in source order so no
         # later phase (or worker scheduling) can influence them.
         session_seeds = [
@@ -278,8 +300,11 @@ class _FederatedEstimatorBase:
                 f"allocate"
             )
 
+        yield ("pilots", pilots)
+
         # Phase 2 — split what is left.
         allocations = self.policy.allocate(remaining, pilots)
+        yield ("allocations", allocations)
 
         # Phase 3 — budget-bounded sessions per source, in source order.
         # min_rounds=2 forces a standard error out of even a zero grant
@@ -312,6 +337,7 @@ class _FederatedEstimatorBase:
                     stop_reason=main_result.stop_reason,
                 )
             )
+            yield ("source", per_source[-1])
         total_queries = sum(estimate.queries for estimate in per_source)
         total_units = sum(estimate.cost_units for estimate in per_source)
         total = sum(estimate.mean for estimate in per_source)
@@ -329,7 +355,7 @@ class _FederatedEstimatorBase:
             math.sqrt(variance) if not math.isnan(variance) else float("nan")
         )
         half = 1.96 * std_error
-        return FederatedResult(
+        yield ("result", FederatedResult(
             total=total,
             std_error=std_error,
             ci95=(total - half, total + half),
@@ -340,7 +366,7 @@ class _FederatedEstimatorBase:
             total_queries=total_queries,
             pilot_cost_units=float(pilot_cost),
             allocations=allocations,
-        )
+        ))
 
 
 class FederatedSizeEstimator(_FederatedEstimatorBase):

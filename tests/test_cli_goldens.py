@@ -1,0 +1,89 @@
+"""Schema-stability goldens for the CLI's ``--json`` outputs.
+
+The golden files under ``tests/goldens/`` were captured from the
+pre-``repro.api`` CLI (``track``/``federate``) and from the first
+``estimate --json`` release; these tests re-run the exact commands and
+compare *bytes*, so neither the payload schema nor the seeded values can
+drift silently.  If an intentional schema change lands, regenerate the
+goldens with the commands embedded in each file name/test and say so in
+the commit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+GOLDEN_COMMANDS = {
+    "cli_estimate.json": [
+        "estimate", "--dataset", "iid", "--m", "500", "--k", "20",
+        "--rounds", "4", "--seed", "3", "--json",
+    ],
+    "cli_track.json": [
+        "track", "--dataset", "iid", "--m", "500", "--k", "25",
+        "--epochs", "3", "--churn", "0.1", "--rounds", "8",
+        "--reissue", "3", "--seed", "2", "--json",
+    ],
+    "cli_track_restart.json": [
+        "track", "--dataset", "iid", "--m", "400", "--k", "25",
+        "--epochs", "2", "--policy", "restart", "--rounds", "6",
+        "--seed", "2", "--json",
+    ],
+    "cli_federate.json": [
+        "federate", "--sources", "2", "--m", "250", "--k", "16",
+        "--budget", "400", "--policy", "uniform", "--pilot-rounds", "2",
+        "--seed", "7", "--json",
+    ],
+    "cli_federate_neyman.json": [
+        "federate", "--sources", "3", "--m", "250", "--k", "16",
+        "--budget", "600", "--policy", "neyman", "--pilot-rounds", "2",
+        "--seed", "11", "--json",
+    ],
+}
+
+
+@pytest.mark.parametrize("golden_name", sorted(GOLDEN_COMMANDS))
+def test_cli_json_matches_golden_bytes(golden_name, capsys):
+    argv = GOLDEN_COMMANDS[golden_name]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    golden = (GOLDEN_DIR / golden_name).read_text()
+    assert out == golden, (
+        f"{golden_name} drifted; if intentional, regenerate with: "
+        f"hiddendb-repro {' '.join(argv)}"
+    )
+
+
+def test_goldens_are_valid_json():
+    for name in GOLDEN_COMMANDS:
+        payload = json.loads((GOLDEN_DIR / name).read_text())
+        assert payload  # non-empty object
+
+
+def test_run_spec_reproduces_estimate_golden(tmp_path, capsys):
+    """A spec file through ``run-spec --json`` equals ``estimate --json``.
+
+    The subcommands are thin translators over one front door, so the
+    same request expressed either way must serialize identically.
+    """
+    from repro.api import (
+        DatasetSpec, EstimationSpec, MethodSpec, RegimeSpec, TargetSpec,
+    )
+
+    spec = EstimationSpec(
+        target=TargetSpec(
+            dataset=DatasetSpec(name="iid", m=500, seed=3), k=20
+        ),
+        regime=RegimeSpec(rounds=4, seed=3),
+        method=MethodSpec(r=4, dub=32),
+    )
+    spec_path = tmp_path / "request.json"
+    spec_path.write_text(spec.to_json(indent=2))
+    assert main(["run-spec", str(spec_path), "--json"]) == 0
+    out = capsys.readouterr().out
+    golden = (GOLDEN_DIR / "cli_estimate.json").read_text()
+    assert out == golden

@@ -138,3 +138,43 @@ class TestMetrics:
         t.append(10, 42.0)
         metrics = metrics_at_costs([t], truth=100.0, costs=[10])
         assert metrics[0].std_estimate == 0.0
+
+
+class TestCollectSpecRuns:
+    def _spec(self):
+        from repro.api import DatasetSpec, EstimationSpec, RegimeSpec, TargetSpec
+
+        return EstimationSpec(
+            target=TargetSpec(
+                dataset=DatasetSpec(name="iid", m=300, seed=5), k=20
+            ),
+            regime=RegimeSpec(rounds=3, seed=0),
+        )
+
+    def test_replication_seeds_vary_only_the_session(self):
+        from repro.experiments.harness import collect_spec_runs
+
+        reports = collect_spec_runs(self._spec(), replications=3, base_seed=11)
+        assert len(reports) == 3
+        assert all(r.rounds == 3 for r in reports)
+        # Distinct session seeds -> (almost surely) distinct estimates.
+        assert len({r.estimate for r in reports}) > 1
+        # The embedded spec echoes the derived seed per replication.
+        assert [r.spec.regime.seed for r in reports] == [11, 11 + 7919, 11 + 2 * 7919]
+
+    def test_worker_pool_matches_sequential(self):
+        from repro.experiments.harness import collect_spec_runs
+
+        sequential = collect_spec_runs(self._spec(), replications=3, base_seed=11)
+        pooled = collect_spec_runs(
+            self._spec(), replications=3, base_seed=11, workers=3
+        )
+        assert [r.to_json() for r in sequential] == [r.to_json() for r in pooled]
+
+    def test_rejects_zero_replications(self):
+        import pytest
+
+        from repro.experiments.harness import collect_spec_runs
+
+        with pytest.raises(ValueError):
+            collect_spec_runs(self._spec(), replications=0, base_seed=1)

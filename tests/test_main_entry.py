@@ -1,0 +1,52 @@
+"""The ``python -m repro`` module entry point and ``--version``."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def run_module(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_and_prints_the_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"hiddendb-repro {__version__}"
+
+    def test_version_wins_over_missing_subcommand(self, capsys):
+        # --version short-circuits the otherwise-required subcommand.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_version(self):
+        proc = run_module("--version")
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == f"hiddendb-repro {__version__}"
+
+    def test_python_dash_m_list(self):
+        proc = run_module("list")
+        assert proc.returncode == 0
+        assert "fig06" in proc.stdout
+
+    def test_python_dash_m_without_command_fails_cleanly(self):
+        proc = run_module()
+        assert proc.returncode == 2
+        assert "command" in proc.stderr

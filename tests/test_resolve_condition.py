@@ -1,0 +1,69 @@
+"""Error-path tests for :func:`repro.core.estimators.resolve_condition`.
+
+The happy path (mapping -> ConjunctiveQuery) is covered by the estimator
+and CLI tests; these pin down what *invalid* conditions raise — the
+eager-validation contract the `repro.api` spec layer leans on.
+"""
+
+import pytest
+
+from repro.core.estimators import resolve_condition
+from repro.datasets import boolean_table, yahoo_auto
+from repro.hidden_db.exceptions import InvalidQueryError, SchemaError
+from repro.hidden_db.query import ConjunctiveQuery
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return yahoo_auto(m=200, seed=1).schema
+
+
+class TestHappyPath:
+    def test_none_passes_through(self, schema):
+        assert resolve_condition(schema, None) is None
+
+    def test_mapping_with_label_and_int(self, schema):
+        query = resolve_condition(schema, {"MAKE": "Toyota", "AC": 1})
+        predicates = dict(query.predicates)
+        assert predicates[schema.index_of("MAKE")] == 0
+        assert predicates[schema.index_of("AC")] == 1
+
+    def test_ready_query_is_validated_and_returned(self, schema):
+        query = ConjunctiveQuery().extended(schema.index_of("MAKE"), 2)
+        assert resolve_condition(schema, query) is query
+
+
+class TestErrorPaths:
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(SchemaError, match="unknown attribute 'NOPE'"):
+            resolve_condition(schema, {"NOPE": 1})
+
+    def test_measure_is_not_an_attribute(self, schema):
+        # Measures (PRICE) are aggregation columns, not searchable
+        # attributes; conditioning on one must fail loudly.
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            resolve_condition(schema, {"PRICE": 1})
+
+    def test_out_of_range_value(self, schema):
+        domain = schema[schema.index_of("MAKE")].domain_size
+        with pytest.raises(SchemaError):
+            resolve_condition(schema, {"MAKE": domain})
+        with pytest.raises(SchemaError):
+            resolve_condition(schema, {"MAKE": -1})
+
+    def test_unknown_label(self, schema):
+        with pytest.raises(SchemaError):
+            resolve_condition(schema, {"MAKE": "NotACarMaker"})
+
+    def test_label_on_unlabelled_attribute(self):
+        bool_schema = boolean_table(50, [0.5] * 6, seed=3).schema
+        with pytest.raises(SchemaError):
+            resolve_condition(bool_schema, {bool_schema[0].name: "yes"})
+
+    def test_wrong_schema_query(self, schema):
+        # A query built against a wider schema names attribute indexes
+        # (and values) the narrow Boolean schema does not have.
+        bool_schema = boolean_table(50, [0.5] * 6, seed=3).schema
+        foreign = ConjunctiveQuery().extended(schema.index_of("DOORS"), 2)
+        with pytest.raises(InvalidQueryError):
+            resolve_condition(bool_schema, foreign)

@@ -23,6 +23,7 @@ class TestRunUntil:
         z_half = 1.96 * result.std_error
         assert z_half <= 0.10 * abs(result.mean) * 1.0001
         assert result.rounds >= 5
+        assert result.stop_reason == "precision"
 
     def test_tighter_target_needs_more_rounds(self, table):
         loose = HDUnbiasedSize(client_for(table), r=3, dub=16, seed=2)
@@ -35,11 +36,13 @@ class TestRunUntil:
         estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=3)
         result = estimator.run_until(1e-9, max_rounds=7)
         assert result.rounds == 7
+        assert result.stop_reason == "max_rounds"
 
     def test_budget_cap(self, table):
         estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=4)
         result = estimator.run_until(1e-9, max_rounds=10_000, query_budget=80)
         assert result.total_cost >= 80 or result.rounds >= 1
+        assert result.stop_reason == "budget"
 
     def test_result_is_accurate(self, table):
         estimator = HDUnbiasedSize(client_for(table), r=3, dub=16, seed=5)
@@ -60,6 +63,63 @@ class TestRunUntil:
         result = estimator.run_until(1e-9, max_rounds=10_000)
         assert result.rounds >= 1
         assert result.total_cost <= 60
+        assert result.stop_reason == "hard_limit"
+
+
+class TestStopReasonAlwaysConcrete:
+    """Every session end — and every construction path — reports a reason."""
+
+    def test_run_rounds_reports_rounds(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=8)
+        assert estimator.run(rounds=3).stop_reason == "rounds"
+
+    def test_parallel_run_reports_rounds(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=8)
+        assert estimator.run(rounds=3, workers=2).stop_reason == "rounds"
+
+    def test_run_budget_reports_budget(self, table):
+        estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=9)
+        assert estimator.run(query_budget=60).stop_reason == "budget"
+
+    def test_legacy_construction_defaults_to_rounds(self):
+        from repro.core import EstimationResult
+        from repro.utils.stats import StreamingMeanSeries
+
+        legacy = EstimationResult(
+            estimates=[1.0, 2.0],
+            mean=1.5,
+            std_error=0.5,
+            ci95=(0.5, 2.5),
+            total_cost=10,
+            rounds=2,
+            trajectory=StreamingMeanSeries(),
+        )
+        assert legacy.stop_reason == "rounds"
+        assert not legacy.stalled
+
+    def test_explicit_none_is_coerced(self):
+        from repro.core import EstimationResult
+        from repro.utils.stats import StreamingMeanSeries
+
+        coerced = EstimationResult(
+            estimates=[1.0],
+            mean=1.0,
+            std_error=float("nan"),
+            ci95=(float("nan"), float("nan")),
+            total_cost=5,
+            rounds=1,
+            trajectory=StreamingMeanSeries(),
+            stop_reason=None,
+        )
+        assert coerced.stop_reason == "rounds"
+
+    def test_merge_rounds_without_reason_reports_rounds(self, table):
+        from repro.core.engine import merge_rounds
+
+        estimator = HDUnbiasedSize(client_for(table), r=2, dub=16, seed=10)
+        rounds = [estimator.run_once() for _ in range(2)]
+        merged = merge_rounds(rounds, estimator._statistic, estimator._dims)
+        assert merged.stop_reason == "rounds"
 
 
 class TestPartialCrawl:

@@ -253,6 +253,37 @@ class Estimation:
             )
         return report_from_estimation(result, mode, self.spec)
 
+    # -- batches -----------------------------------------------------------
+
+    @staticmethod
+    def submit_many(
+        specs,
+        workers: int = 2,
+        cache_size: Optional[int] = 256,
+        tenant_budgets=None,
+        timeout: Optional[float] = None,
+    ):
+        """Run a batch of specs concurrently; reports in submission order.
+
+        One-call convenience over
+        :class:`repro.service.EstimationService`: every report is
+        byte-identical to ``Estimation(spec).run()`` for the same spec
+        (whatever *workers* is), and equal specs in the batch are served
+        from the service's result cache after the first completes.
+
+        *timeout* bounds each job's ``result`` wait individually (not
+        the batch), and on expiry the service shutdown still drains the
+        jobs already in flight before the ``TimeoutError`` surfaces.
+        """
+        from repro.service import EstimationService
+
+        with EstimationService(
+            workers=workers,
+            cache_size=cache_size,
+            tenant_budgets=tenant_budgets,
+        ) as service:
+            return service.run_many(list(specs), timeout=timeout)
+
     # -- ground truth (experiments only — reads the hidden table) ---------
 
     def ground_truth(self) -> float:
@@ -363,6 +394,7 @@ class Estimation:
                 raise ValueError("the query budget allowed no rounds at all")
             stream.result = accumulator.snapshot(self.mode, spec, stop_reason)
         finally:
+            session.close()
             for lease in pending:
                 budget.cancel(lease)
             if stream.result is None and accumulator.count:
@@ -457,6 +489,7 @@ class Estimation:
                 yield report_from_track(result, spec, partial=True)
             stream.result = report_from_track(result, spec)
         finally:
+            estimator.close()
             if stream.result is None and result.epochs:
                 stream.result = report_from_track(
                     result, spec, stop_reason="cancelled"

@@ -44,7 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 from repro import __version__
 from repro.api import (
@@ -185,6 +185,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-epoch round fan-out (output is worker-count "
                           "independent)")
     trk.add_argument("--json", action="store_true", help="emit JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="estimation service: line-delimited JSON requests on stdin, "
+             "one JSON response per line on stdout (in input order)",
+    )
+    serve.add_argument("--workers", type=int, default=2,
+                       help="jobs in flight at once (reports are "
+                            "byte-identical at every worker count)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache capacity (0 disables caching)")
+    serve.add_argument("--tenant-budget", type=float, default=None,
+                       help="per-tenant query-budget ceiling in cost units "
+                            "(default: unlimited)")
 
     spec_cmd = sub.add_parser(
         "run-spec",
@@ -411,6 +425,183 @@ def _cmd_track(args) -> int:
     return 0
 
 
+def _serve_request(service, payload, request_id, default_tenant="default"):
+    """Dispatch one decoded request line; returns (job, base_response).
+
+    *job* is ``None`` for synchronous ops (``cache`` / ``metrics`` /
+    ``update``) whose response is already complete.
+    """
+    from repro.api.spec import DatasetSpec
+    from repro.api.spec import _section_from_dict  # canonical section parse
+
+    if not isinstance(payload, Mapping):
+        raise ValueError("request must be a JSON object")
+    op = payload.get("op")
+    if op is None or op == "submit":
+        # A bare spec object, or an envelope {"op": "submit", "spec": ...,
+        # "id": ..., "tenant": ...}.
+        if op == "submit":
+            if "spec" not in payload:
+                raise ValueError("submit request carries no 'spec'")
+            body = payload["spec"]
+        else:
+            body = payload
+        spec = EstimationSpec.from_dict(body)
+        tenant = str(payload.get("tenant", default_tenant)) if op else default_tenant
+        job = service.submit(spec, tenant=tenant)
+        return job, {"id": request_id, "mode": spec.mode, "tenant": tenant}
+    if op == "cache":
+        cache = service.cache
+        report = cache.report() if cache is not None else None
+        return None, {"id": request_id, "status": "ok", "cache": report}
+    if op == "metrics":
+        return None, {
+            "id": request_id, "status": "ok", "metrics": service.metrics(),
+        }
+    if op == "update":
+        dataset = payload.get("dataset")
+        if dataset is None:
+            raise ValueError("update request carries no 'dataset'")
+        dataset_spec = _section_from_dict(DatasetSpec, dataset, "dataset")
+        delta, evicted = service.apply_updates(
+            dataset_spec,
+            inserts=payload.get("inserts"),
+            deletes=payload.get("deletes"),
+            modifications=(
+                {int(k): v for k, v in payload["modifications"].items()}
+                if payload.get("modifications") else None
+            ),
+        )
+        return None, {
+            "id": request_id,
+            "status": "ok",
+            "delta": delta.to_dict(),
+            "evicted": evicted,
+        }
+    raise ValueError(f"unknown request op {op!r}")
+
+
+def _cmd_serve(args) -> int:
+    """Run the line-delimited JSON estimation service on stdin/stdout.
+
+    Responses are emitted strictly in input order (execution is
+    concurrent; ordering is the protocol's determinism guarantee), one
+    JSON object per line.  Emission is **completion-driven**: a writer
+    thread blocks on the oldest outstanding job and prints its response
+    the moment it resolves, so a request/response client that waits for
+    each reply before sending the next line never deadlocks.
+    """
+    import queue
+    import threading
+
+    from repro.service import EstimationService
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.cache_size < 0:
+        print(f"--cache-size must be >= 0, got {args.cache_size}",
+              file=sys.stderr)
+        return 2
+
+    def resolve(job, base):
+        if job is None:
+            return base
+        try:
+            report = job.result()
+        except Exception as exc:  # job failed: a response line, not a crash
+            return {**base, "status": "error", "error": str(exc)}
+        return {
+            **base,
+            "status": "done",
+            "cached": job.cached,
+            "report": report.to_dict(),
+        }
+
+    outbox: "queue.SimpleQueue" = queue.SimpleQueue()
+    _done = object()
+    write_failed = threading.Event()
+
+    def writer() -> None:
+        while True:
+            item = outbox.get()
+            if item is _done:
+                return
+            if write_failed.is_set():
+                continue  # drain without writing; the reader is gone
+            try:
+                text = json.dumps(
+                    resolve(*item), sort_keys=True, allow_nan=False
+                )
+            except Exception as exc:
+                # A response that cannot be serialized is itself an error
+                # response — never a reason to drop the whole stream.
+                _, base = item
+                text = json.dumps({
+                    "id": base.get("id") if isinstance(base, dict) else None,
+                    "status": "error",
+                    "error": f"unserializable response: {exc}",
+                })
+            try:
+                print(text)
+                sys.stdout.flush()
+            except OSError:  # e.g. BrokenPipeError: client disconnected
+                write_failed.set()
+
+    writer_thread = threading.Thread(
+        target=writer, name="repro-serve-writer", daemon=True
+    )
+    writer_thread.start()
+    inflight = []  # jobs not yet known terminal, for barrier ops
+    with EstimationService(
+        workers=args.workers,
+        cache_size=args.cache_size,
+        default_tenant_budget=args.tenant_budget,
+    ) as service:
+        for line_no, line in enumerate(sys.stdin, 1):
+            line = line.strip()
+            if not line:
+                continue
+            request_id = line_no
+            try:
+                payload = json.loads(line)
+                # Only op envelopes carry an "id" (a bare spec is passed
+                # to the strict spec parser whole, where an extra key
+                # would be rejected as an unknown section).
+                if (
+                    isinstance(payload, Mapping)
+                    and "op" in payload
+                    and "id" in payload
+                ):
+                    request_id = payload["id"]
+                if isinstance(payload, Mapping) and payload.get("op") in (
+                    "cache", "metrics", "update",
+                ):
+                    # Barrier semantics: a synchronous op observes (or
+                    # mutates) service state only after every earlier
+                    # request has fully resolved — the protocol stays
+                    # deterministic under any worker count.
+                    for job in inflight:
+                        job.wait()
+                    inflight.clear()
+                job, base = _serve_request(service, payload, request_id)
+                if job is not None:
+                    inflight.append(job)
+                outbox.put((job, base))
+            except Exception as exc:
+                outbox.put(
+                    (None, {
+                        "id": request_id, "status": "error", "error": str(exc),
+                    })
+                )
+            inflight = [job for job in inflight if not job.done]
+            if write_failed.is_set():
+                break  # nobody is reading: stop burning queries
+        outbox.put(_done)
+        writer_thread.join()
+    return 1 if write_failed.is_set() else 0
+
+
 def _cmd_run_spec(args) -> int:
     try:
         if args.spec == "-":
@@ -480,6 +671,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_federate(args)
     if args.command == "track":
         return _cmd_track(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "run-spec":
         return _cmd_run_spec(args)
     if args.command == "tune":

@@ -129,6 +129,20 @@ class QueryBudget:
         """Leases issued but neither settled nor cancelled."""
         return sum(1 for lease in self._leases if lease.open)
 
+    @property
+    def next_settle_index(self) -> Optional[int]:
+        """Index of the lease whose settlement the ledger expects next.
+
+        ``None`` when every issued lease is already settled or cancelled.
+        Out-of-band settlement drivers (the service-layer admission
+        controller records job costs as they finish, in completion order)
+        use this to pump recorded costs into the ledger *in issuance
+        order*, preserving the round-order discipline.
+        """
+        if self._next_settle >= len(self._leases):
+            return None
+        return self._leases[self._next_settle].index
+
     # -- lifecycle -------------------------------------------------------
 
     def lease(self, force: bool = False) -> BudgetLease:

@@ -188,11 +188,17 @@ class _EpochEstimatorBase:
     # -- engine plumbing -------------------------------------------------
 
     def _session(self) -> ParallelSession:
-        return ParallelSession(
-            factory=_RoundFactory(self._template),
-            workers=self.workers,
-            executor=self.executor,
-        )
+        # One persistent session (and worker pool) per tracker: step() is
+        # called once per epoch and the pool is reused across epochs.
+        session = getattr(self, "_engine_session", None)
+        if session is None:
+            session = ParallelSession(
+                factory=_RoundFactory(self._template),
+                workers=self.workers,
+                executor=self.executor,
+            )
+            self._engine_session = session
+        return session
 
     def _run_rounds(self, seeds: List[int]):
         """Replay one round per seed; returns (values, total_cost).
@@ -207,6 +213,13 @@ class _EpochEstimatorBase:
         )
         cost = int(sum(o[0].cost for o in outcomes))
         return values, cost
+
+    def close(self) -> None:
+        """Release the persistent engine session's worker pool."""
+        session = getattr(self, "_engine_session", None)
+        if session is not None:
+            session.close()
+            self._engine_session = None
 
     def _draw_seed(self) -> int:
         return int(self._master.integers(0, 2**63 - 1))
@@ -502,14 +515,17 @@ def track(
         **estimator_kwargs,
     )
     result = TrackResult(policy=policy)
-    for epoch in range(epochs):
-        if epoch:
-            churn_gen.epoch()
-        epoch_estimate = estimator.step()
-        if record_truth:
-            epoch_estimate.truth = _ground_truth(
-                table, aggregate, measure,
-                estimator._template.condition,
-            )
-        result.epochs.append(epoch_estimate)
+    try:
+        for epoch in range(epochs):
+            if epoch:
+                churn_gen.epoch()
+            epoch_estimate = estimator.step()
+            if record_truth:
+                epoch_estimate.truth = _ground_truth(
+                    table, aggregate, measure,
+                    estimator._template.condition,
+                )
+            result.epochs.append(epoch_estimate)
+    finally:
+        estimator.close()
     return result

@@ -25,6 +25,13 @@ round re-pays its cache misses.  Parallel sessions therefore trade query
 cost for wall-clock speed; the estimates themselves stay unbiased (rounds
 are i.i.d. by construction).
 
+The worker pool is created lazily on the first multi-worker wave and
+**reused across waves** (budgeted sessions and the dynamic trackers call
+:meth:`ParallelSession.run_rounds` many times per session); call
+:meth:`ParallelSession.close` — or use the session as a context manager —
+to release the pool threads deterministically.  An unclosed session
+releases them on garbage collection.
+
 Budget-bounded sessions
 -----------------------
 :meth:`ParallelSession.run_budgeted` extends the contract to query
@@ -167,6 +174,35 @@ class ParallelSession:
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {self.executor!r}"
             )
+        self._pool = None
+
+    def _get_pool(self):
+        """The session's persistent worker pool (created on first use)."""
+        if self._pool is None:
+            pool_cls = (
+                ThreadPoolExecutor if self.executor == "thread"
+                else ProcessPoolExecutor
+            )
+            self._pool = pool_cls(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; sessions stay usable —
+        the next wave simply builds a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def round_seeds(self, rounds: int) -> List[int]:
         """The per-round RNG seeds, fixed by the session seed alone."""
@@ -192,17 +228,13 @@ class ParallelSession:
             for i, seed in enumerate(seeds):
                 outcomes[i] = _run_round(self.factory, seed)
         else:
-            pool_cls = (
-                ThreadPoolExecutor if self.executor == "thread"
-                else ProcessPoolExecutor
-            )
-            with pool_cls(max_workers=self.workers) as pool:
-                futures = {
-                    pool.submit(_run_round, self.factory, seed): i
-                    for i, seed in enumerate(seeds)
-                }
-                for future, i in futures.items():
-                    outcomes[i] = future.result()
+            pool = self._get_pool()
+            futures = {
+                pool.submit(_run_round, self.factory, seed): i
+                for i, seed in enumerate(seeds)
+            }
+            for future, i in futures.items():
+                outcomes[i] = future.result()
         return outcomes
 
     def run(self, rounds: int) -> "object":

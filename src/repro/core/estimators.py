@@ -360,20 +360,22 @@ class _DrillDownEstimator:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if workers > 1:
-            session = self.parallel_session(
+            with self.parallel_session(
                 workers,
                 seed=int(self.rng.integers(0, 2**63 - 1)),
                 executor=executor,
-            )
-            if query_budget is not None:
-                result = session.run_budgeted(query_budget, max_rounds=rounds)
-                if result.stop_reason == "max_rounds":
-                    # Same vocabulary as the sequential path: an explicit
-                    # round count stopping the session reads "rounds"
-                    # whatever the worker count.
-                    result.stop_reason = "rounds"
-                return result
-            return session.run(rounds)
+            ) as session:
+                if query_budget is not None:
+                    result = session.run_budgeted(
+                        query_budget, max_rounds=rounds
+                    )
+                    if result.stop_reason == "max_rounds":
+                        # Same vocabulary as the sequential path: an
+                        # explicit round count stopping the session reads
+                        # "rounds" whatever the worker count.
+                        result.stop_reason = "rounds"
+                    return result
+                return session.run(rounds)
         budget = as_budget(query_budget)
         start_cost = self.client.cost
         vector_sum = np.zeros(self._dims)

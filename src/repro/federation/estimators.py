@@ -276,6 +276,8 @@ class _FederatedEstimatorBase:
                     f"(spent {ledger.spent} before {source.name!r} finished); "
                     f"raise the budget or lower pilot_rounds"
                 ) from None
+            finally:
+                session.close()
             stats = RunningStats()
             stats.extend(result.estimates)
             pilots.append(
@@ -315,12 +317,12 @@ class _FederatedEstimatorBase:
             self.target, pilot_results, session_seeds
         ):
             granted = allocations[source.name]
-            session = self._session(source, workers, main_seed)
-            main_result: EstimationResult = session.run_budgeted(
-                granted,
-                cost_scale=source.cost_per_query,
-                min_rounds=self.MIN_MAIN_ROUNDS,
-            )
+            with self._session(source, workers, main_seed) as session:
+                main_result: EstimationResult = session.run_budgeted(
+                    granted,
+                    cost_scale=source.cost_per_query,
+                    min_rounds=self.MIN_MAIN_ROUNDS,
+                )
             queries = pilot_result.total_cost + main_result.total_cost
             stats = RunningStats()
             stats.extend(main_result.estimates)

@@ -82,6 +82,18 @@ class TableDelta:
         """Total number of touched tuples (the incremental-work budget)."""
         return self.num_inserted + self.num_deleted + self.num_modified
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary of the epoch (the service's ``update``
+        responses ship it over the wire; ids are plain ints)."""
+        return {
+            "old_num_rows": int(self.old_num_rows),
+            "new_num_rows": int(self.new_num_rows),
+            "inserted_ids": [int(i) for i in self.inserted_ids],
+            "deleted_ids": [int(i) for i in self.deleted_ids],
+            "modified_ids": [int(i) for i in self.modified_ids],
+            "churn": self.churn,
+        }
+
     def __repr__(self) -> str:
         return (
             f"TableDelta(+{self.num_inserted} -{self.num_deleted} "

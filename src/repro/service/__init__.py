@@ -1,0 +1,41 @@
+"""``repro.service`` — the concurrent estimation service layer.
+
+One bounded scheduler (:class:`JobScheduler`) running declarative
+:class:`~repro.api.spec.EstimationSpec` submissions through the
+:class:`~repro.api.session.Estimation` facade, one spec-keyed
+epoch-versioned :class:`ResultCache`, one per-tenant
+:class:`TenantBudgets` admission ledger — glued together by
+:class:`EstimationService`, the object behind ``hiddendb-repro serve``
+and ``Estimation.submit_many``.
+
+Quick start::
+
+    from repro.api import DatasetSpec, EstimationSpec, RegimeSpec, TargetSpec
+    from repro.service import EstimationService
+
+    spec = EstimationSpec(
+        target=TargetSpec(dataset=DatasetSpec(name="yahoo", m=20_000)),
+        regime=RegimeSpec(rounds=25, seed=7),
+    )
+    with EstimationService(workers=4) as service:
+        job = service.submit(spec)
+        print(job.result().estimate)      # == Estimation(spec).run()
+        print(service.submit(spec).result(), service.metrics()["cache"])
+"""
+
+from repro.service.admission import AdmissionRefused, TenantBudgets
+from repro.service.cache import ResultCache
+from repro.service.core import EstimationService
+from repro.service.jobs import JOB_STATES, Job, JobCancelled
+from repro.service.scheduler import JobScheduler
+
+__all__ = [
+    "EstimationService",
+    "JobScheduler",
+    "ResultCache",
+    "TenantBudgets",
+    "AdmissionRefused",
+    "Job",
+    "JobCancelled",
+    "JOB_STATES",
+]

@@ -1,0 +1,153 @@
+"""Spec-keyed result caching with epoch-version invalidation.
+
+A cache entry binds three things together: the request's **canonical
+JSON** (:meth:`EstimationSpec.to_json` is byte-stable, so equal specs
+share one key), the **target token** naming the concrete database the
+job ran against, and the target's **epoch version** at execution time.
+A lookup hits only when all three match the live state — an entry
+computed at version *v* is never served once the target moved past *v*.
+That is the :class:`~repro.hidden_db.exceptions.StaleResultError`
+discipline of the client layer lifted to the service: instead of raising,
+the cache *evicts* the stale entry (counted in
+``report()["stale_evictions"]``) and lets the scheduler recompute against
+the live epoch.
+
+Invalidation is therefore exact: an ``apply_updates`` epoch bump on one
+table invalidates precisely the entries bound to that table's token —
+entries for other targets, and for ephemeral targets (tracking runs,
+generated federations), are untouched.
+
+Stored payloads are the report's canonical JSON, and hits are served as a
+fresh parse — reports round-trip bit-identically (PR 4's payload
+stability contract), so a hit is byte-equal to the original run while
+never sharing mutable state with a previous caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.api.report import AggregateReport
+
+__all__ = ["ResultCache"]
+
+#: Cache key: (target token, canonical spec JSON).
+CacheKey = Tuple[str, str]
+
+
+class ResultCache:
+    """Bounded LRU of finished reports, keyed by spec + target epoch.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity (``None`` = unbounded).  Capacity evictions are
+        counted separately from stale (epoch-bump) evictions.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 256) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be positive or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        # key -> (version, report canonical JSON)
+        self._entries: "OrderedDict[CacheKey, Tuple[int, str]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stale_evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lookup / store --------------------------------------------------
+
+    def lookup(
+        self, token: str, spec_json: str, version: int
+    ) -> Optional[AggregateReport]:
+        """The cached report for (*token*, *spec_json*) at *version*.
+
+        A key present at a different version is stale: the entry is
+        evicted (never served) and the lookup is a miss.
+        """
+        with self._lock:
+            key = (token, spec_json)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            cached_version, payload = entry
+            if cached_version != version:
+                del self._entries[key]
+                self.stale_evictions += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return AggregateReport.from_json(payload)
+
+    def store(
+        self, token: str, spec_json: str, version: int, report: AggregateReport
+    ) -> None:
+        """Record *report* as the result of *spec_json* at *version*."""
+        payload = report.to_json()
+        with self._lock:
+            key = (token, spec_json)
+            stale = key in self._entries
+            self._entries[key] = (version, payload)
+            self._entries.move_to_end(key)
+            if stale:
+                return
+            if (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate_target(self, token: str) -> int:
+        """Evict every entry bound to *token*; returns how many."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == token]
+            for key in stale:
+                del self._entries[key]
+            self.stale_evictions += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything and reset the counters (a fresh cache)."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.stale_evictions = 0
+
+    # -- observability ---------------------------------------------------
+
+    def report(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction statistics (the service's ``cache`` op)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "stale_evictions": self.stale_evictions,
+                "entries": len(self._entries),
+                "capacity": self.max_entries,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses}, stale={self.stale_evictions})"
+        )

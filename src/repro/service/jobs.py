@@ -1,0 +1,200 @@
+"""Job lifecycle: the unit of work a service schedules.
+
+A :class:`Job` is one accepted :class:`~repro.api.spec.EstimationSpec`
+submission.  It moves through the states
+
+    ``queued`` → ``running`` → ``done`` | ``failed`` | ``cancelled``
+
+(queued jobs can also go straight to ``cancelled``).  Callers hold the
+job as a future: :meth:`Job.result` blocks until the terminal state and
+returns the :class:`~repro.api.report.AggregateReport` (or re-raises the
+job's failure); :meth:`Job.snapshots` subscribes to the streaming
+snapshot fan-out — every subscriber sees the *full* snapshot sequence in
+order, no matter when it subscribes, because the job records the log and
+replays it (the PR 4 session protocol guarantees the sequence itself is
+worker-count invariant, so fan-out never re-orders anything).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterator, List, Optional
+
+from repro.api.report import AggregateReport
+from repro.api.spec import EstimationSpec
+
+__all__ = ["Job", "JobCancelled", "JOB_STATES"]
+
+#: Every state a job can be observed in (terminal: done/failed/cancelled).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_job_ids = itertools.count(1)
+
+
+class JobCancelled(RuntimeError):
+    """Raised by :meth:`Job.result` when the job was cancelled."""
+
+
+class Job:
+    """One scheduled estimation request (a future with a snapshot log).
+
+    Parameters
+    ----------
+    spec:
+        The validated request this job executes.
+    tenant:
+        The budget tenant the job's query spend is charged to.
+    stream:
+        Whether the job runs through the streaming session protocol
+        (snapshots fan out to :meth:`snapshots` subscribers).  Streaming
+        jobs bypass the service's result cache — their payload includes
+        the per-round snapshot sequence, which a cache hit could not
+        replay against the hidden database for free.
+    """
+
+    def __init__(
+        self,
+        spec: EstimationSpec,
+        tenant: str = "default",
+        stream: bool = False,
+    ) -> None:
+        self.id = next(_job_ids)
+        self.spec = spec
+        self.tenant = tenant
+        self.stream = bool(stream)
+        self.state = "queued"
+        self.report: Optional[AggregateReport] = None
+        self.error: Optional[BaseException] = None
+        #: True when the report was served from the service's result cache
+        #: (the submission charged zero hidden-database queries).
+        self.cached = False
+        #: Set by the service at submission: the optional injected target
+        #: and the tenant-budget lease admitting the job.
+        self.injected_table = None
+        self.injected_federation = None
+        self.lease = None
+        self._snapshot_log: List[AggregateReport] = []
+        self._cond = threading.Condition()
+        self._cancel_requested = False
+
+    # -- observation -----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state in ("done", "failed", "cancelled")
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; True if it finished in time."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self.done, timeout=timeout)
+
+    def result(self, timeout: Optional[float] = None) -> AggregateReport:
+        """The job's final report (blocks; re-raises failures).
+
+        Raises :class:`JobCancelled` for cancelled jobs, ``TimeoutError``
+        if the job is still in flight after *timeout* seconds, and the
+        original exception for failed jobs.
+        """
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"job {self.id} still {self.state!r} after {timeout}s"
+            )
+        if self.state == "cancelled":
+            raise JobCancelled(f"job {self.id} was cancelled")
+        if self.state == "failed":
+            raise self.error
+        assert self.report is not None
+        return self.report
+
+    def snapshots(self) -> Iterator[AggregateReport]:
+        """Iterate the job's streaming snapshots (full sequence, in order).
+
+        Subscribing late replays the recorded log first, then follows the
+        live tail; the iterator ends when the job reaches a terminal
+        state.  Non-streaming jobs produce no snapshots.
+        """
+        index = 0
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: index < len(self._snapshot_log) or self.done
+                )
+                if index >= len(self._snapshot_log) and self.done:
+                    return
+                snapshot = self._snapshot_log[index]
+            index += 1
+            yield snapshot
+
+    @property
+    def snapshot_log(self) -> List[AggregateReport]:
+        """The snapshots recorded so far (a copy; streaming jobs only)."""
+        with self._cond:
+            return list(self._snapshot_log)
+
+    # -- cancellation ----------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Request cancellation; True if the job is *already* cancelled.
+
+        A queued job is cancelled outright (returns True).  A running
+        *streaming* job is cancelled cooperatively at its next snapshot
+        boundary — best-effort: it returns False at request time (the job
+        may still complete normally if it finishes first; observe
+        :attr:`state` or :meth:`result`, which raises
+        :class:`JobCancelled` once the cancellation lands).  A running
+        non-streaming job cannot be interrupted mid-round; the request is
+        recorded but the job runs to completion.  Terminal jobs return
+        True only if they ended cancelled.
+        """
+        with self._cond:
+            self._cancel_requested = True
+            if self.state == "queued":
+                self._finish("cancelled")
+                return True
+            return self.state == "cancelled"
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_requested
+
+    # -- runner-side transitions (the scheduler calls these) -------------
+
+    def _start(self) -> bool:
+        """queued → running; False when the job was cancelled first."""
+        with self._cond:
+            if self.state != "queued":
+                return False
+            self.state = "running"
+            return True
+
+    def _push_snapshot(self, snapshot: AggregateReport) -> None:
+        with self._cond:
+            self._snapshot_log.append(snapshot)
+            self._cond.notify_all()
+
+    def _finish(
+        self,
+        state: str,
+        report: Optional[AggregateReport] = None,
+        error: Optional[BaseException] = None,
+        cached: bool = False,
+    ) -> None:
+        assert state in ("done", "failed", "cancelled")
+        self.report = report
+        self.error = error
+        self.cached = cached
+        self.state = state
+        self._cond.notify_all()
+
+    def _complete(self, state: str, **kwargs) -> None:
+        """Terminal transition with the job lock held by nobody."""
+        with self._cond:
+            self._finish(state, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(id={self.id}, state={self.state!r}, "
+            f"tenant={self.tenant!r}, mode={self.spec.mode!r})"
+        )

@@ -1,0 +1,122 @@
+"""The bounded job executor behind the estimation service.
+
+:class:`JobScheduler` owns the worker pool: it admits ready
+:class:`~repro.service.jobs.Job` objects, runs each through a *runner*
+callable (the service's execution pipeline — cache lookup, facade run,
+budget settlement), and guarantees every job reaches a terminal state
+even when the runner itself fails.  Scheduling never influences results:
+each job is a self-contained seeded estimation, so the report (and the
+streamed snapshot sequence) is byte-identical whether the pool runs one
+job at a time or eight — the engine-level worker-count invariance of
+PR 1, lifted to whole jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from repro.service.jobs import Job
+
+__all__ = ["JobScheduler"]
+
+
+class JobScheduler:
+    """Run jobs on a bounded thread pool, tracking their lifecycle.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(job)`` executes one job end to end, including its
+        terminal transition.  A runner exception marks the job failed
+        (jobs are never lost to a runner bug).
+    workers:
+        Pool size — the number of jobs in flight at once.
+    """
+
+    def __init__(self, runner: Callable[[Job], None], workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._runner = runner
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+        #: In-flight jobs only — terminal jobs are released (a long-lived
+        #: service must not grow with its request history) and roll into
+        #: the aggregate counters below.
+        self._jobs: Dict[int, Job] = {}
+        self._submitted = 0
+        self._finished = {"done": 0, "failed": 0, "cancelled": 0}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Queue *job* for execution (refused after :meth:`close`)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._submitted += 1
+            self._jobs[job.id] = job
+        self._pool.submit(self._execute, job)
+        return job
+
+    def _execute(self, job: Job) -> None:
+        try:
+            self._runner(job)
+        except BaseException as exc:  # noqa: BLE001 - job must terminate
+            if not job.done:
+                job._complete("failed", error=exc)
+        else:
+            if not job.done:  # a runner that forgot the terminal transition
+                job._complete(
+                    "failed",
+                    error=RuntimeError(
+                        f"runner returned without finishing job {job.id}"
+                    ),
+                )
+        finally:
+            with self._lock:
+                self._jobs.pop(job.id, None)
+                self._finished[job.state] = (
+                    self._finished.get(job.state, 0) + 1
+                )
+
+    # -- observation -----------------------------------------------------
+
+    def job(self, job_id: int) -> Optional[Job]:
+        """Look an *in-flight* job up by id (terminal jobs are released —
+        hold the Job handle `submit` returned to observe them)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def report(self) -> Dict[str, int]:
+        """Lifecycle counts over every job ever submitted."""
+        with self._lock:
+            inflight = list(self._jobs.values())
+            counts = {
+                "submitted": self._submitted,
+                "queued": 0,
+                "running": 0,
+                **self._finished,
+            }
+        for job in inflight:
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    # -- shutdown --------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) wait for the in-flight."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

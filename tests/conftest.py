@@ -1,9 +1,45 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The expensive inputs — generated tables — are **session-scoped**: they
+are read-only under the paper's model (estimators only query them), so
+every suite can share one instance instead of regenerating its own.
+Suites that *mutate* tables (churn/versioning tests) must keep building
+private copies.
+
+The ``slow`` marker gates the exhaustive statistical grid (see
+``test_statistical_properties.py``): tier-1 runs a fast subset by
+default, ``--runslow`` (CI's opt-in battery job) runs everything.
+"""
 
 import pytest
 
-from repro.datasets import boolean_table, running_example, yahoo_auto
+from repro.datasets import boolean_table, bool_iid, running_example, yahoo_auto
 from repro.hidden_db import HiddenDBClient, TopKInterface
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run the exhaustive (slow-marked) statistical test grid",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: exhaustive statistical grid; deselected unless --runslow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow grid: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture()
@@ -30,6 +66,24 @@ def small_bool_table():
 def small_yahoo_table():
     """A 1,500-row synthetic Yahoo! Auto table."""
     return yahoo_auto(m=1_500, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_iid_table():
+    """A 400-tuple iid Boolean table (the service suites' shared target)."""
+    return bool_iid(m=400, n=10, seed=3)
+
+
+@pytest.fixture(scope="session")
+def stratified_yahoo_table():
+    """A 600-row Yahoo! Auto table for the online-form suites."""
+    return yahoo_auto(m=600, seed=3)
+
+
+@pytest.fixture(scope="session")
+def crawl_bool_table():
+    """A 60-tuple Boolean table the crawler suites enumerate."""
+    return boolean_table(60, [0.5] * 8, seed=3)
 
 
 def make_client(table, k, cache=True, limit=None):

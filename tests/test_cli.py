@@ -63,6 +63,22 @@ class TestParser:
         assert args.reissue is None  # reissue-only knob, defaulted later
         assert args.workers == 1
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.workers == 2
+        assert args.cache_size == 256
+        assert args.tenant_budget is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "8", "--cache-size", "0",
+             "--tenant-budget", "5000"]
+        )
+        assert args.workers == 8
+        assert args.cache_size == 0
+        assert args.tenant_budget == pytest.approx(5000.0)
+
     def test_track_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["track", "--policy", "magic"])
@@ -83,6 +99,65 @@ class TestParser:
         assert main(["track", "--policy", "restart",
                      "--epoch-budget", "100"]) == 2
         assert "reissue" in capsys.readouterr().err
+
+
+class TestServeExecution:
+    SPEC_LINE = json.dumps({
+        "target": {"dataset": {"name": "iid", "m": 400, "seed": 3},
+                   "federation": None, "k": 24, "backend": "scan",
+                   "churn": None},
+        "aggregate": {"kind": "size", "measure": None, "condition": None},
+        "regime": {"rounds": 3, "query_budget": None,
+                   "target_precision": None, "seed": 1, "workers": 1},
+        "method": {"r": None, "dub": None, "weight_adjustment": None,
+                   "policy": None, "pilot_rounds": None,
+                   "reissue_per_epoch": None, "epoch_query_budget": None},
+        "schema_version": 1,
+    })
+
+    def serve(self, lines, argv, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = main(["serve", *argv])
+        return code, capsys.readouterr()
+
+    def test_rejects_bad_flags(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        import io, sys  # noqa: F401 - stdin untouched for flag errors
+
+        assert main(["serve", "--cache-size", "-1"]) == 2
+        assert "--cache-size" in capsys.readouterr().err
+
+    def test_malformed_lines_become_error_responses(self, monkeypatch, capsys):
+        lines = ["not json", "[1, 2]", '{"op": "wat"}',
+                 '{"op": "update"}', self.SPEC_LINE]
+        code, captured = self.serve(lines, [], monkeypatch, capsys)
+        assert code == 0
+        responses = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert [r["status"] for r in responses] == [
+            "error", "error", "error", "error", "done",
+        ]
+        assert "JSON object" in responses[1]["error"]
+        assert "unknown request op" in responses[2]["error"]
+
+    def test_tenant_budget_refuses_over_the_wire(self, monkeypatch, capsys):
+        # The metrics barrier settles job 1's spend, so line 3 is refused
+        # deterministically (admission reads settled spend only).
+        lines = [self.SPEC_LINE, json.dumps({"op": "metrics"}),
+                 self.SPEC_LINE]
+        code, captured = self.serve(
+            lines, ["--tenant-budget", "1", "--cache-size", "0"],
+            monkeypatch, capsys,
+        )
+        assert code == 0
+        responses = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert responses[0]["status"] == "done"
+        ledger = responses[1]["metrics"]["tenants"]["default"]
+        assert ledger["spent"] > 1
+        assert responses[2]["status"] == "error"
+        assert "exhausted" in responses[2]["error"]
 
 
 class TestExecution:

@@ -18,13 +18,13 @@ class TestCrawl:
         expected = {tuple(int(v) for v in row) for row in table.data}
         assert result.tuples == expected
 
-    def test_exact_on_random_boolean_table(self):
-        table = boolean_table(60, [0.5] * 8, seed=3)
+    def test_exact_on_random_boolean_table(self, crawl_bool_table):
+        table = crawl_bool_table
         result = crawl(client_for(table, k=4))
         assert result.size == 60
 
-    def test_larger_k_costs_fewer_queries(self):
-        table = boolean_table(60, [0.5] * 8, seed=3)
+    def test_larger_k_costs_fewer_queries(self, crawl_bool_table):
+        table = crawl_bool_table
         small_k = crawl(client_for(table, k=2)).query_cost
         large_k = crawl(client_for(table, k=16)).query_cost
         assert large_k < small_k
@@ -43,8 +43,8 @@ class TestCrawl:
         assert result.size == 0
         assert result.query_cost == 1
 
-    def test_max_queries_guard(self):
-        table = boolean_table(60, [0.5] * 8, seed=3)
+    def test_max_queries_guard(self, crawl_bool_table):
+        table = crawl_bool_table
         with pytest.raises(RuntimeError):
             crawl(client_for(table, k=1), max_queries=3)
 

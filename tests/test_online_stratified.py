@@ -34,16 +34,20 @@ def online_client(table, daily_limit=5_000, k=50):
 
 
 class TestStratifiedOverOnlineForm:
-    def test_unconditioned_queries_rejected_but_strata_accepted(self):
-        table = yahoo_auto(m=600, seed=3)
+    def test_unconditioned_queries_rejected_but_strata_accepted(
+        self, stratified_yahoo_table
+    ):
+        table = stratified_yahoo_table
         client, _ = online_client(table)
         with pytest.raises(QueryRejected):
             client.query(ConjunctiveQuery())
         page = client.query(ConjunctiveQuery().extended(MAKE, 0))
         assert page is not None
 
-    def test_stratified_estimate_through_the_required_attribute(self):
-        table = yahoo_auto(m=600, seed=3)
+    def test_stratified_estimate_through_the_required_attribute(
+        self, stratified_yahoo_table
+    ):
+        table = stratified_yahoo_table
         client, simulator = online_client(table)
         estimator = StratifiedEstimator(
             client, stratify_by="MAKE", rounds_per_stratum=3, seed=5,
@@ -54,8 +58,10 @@ class TestStratifiedOverOnlineForm:
         assert result.total == pytest.approx(table.num_tuples, rel=0.6)
         assert simulator.total_issued == result.total_cost
 
-    def test_quota_exhaustion_and_day_advance_recovery(self):
-        table = yahoo_auto(m=600, seed=3)
+    def test_quota_exhaustion_and_day_advance_recovery(
+        self, stratified_yahoo_table
+    ):
+        table = stratified_yahoo_table
         client, simulator = online_client(table, daily_limit=40)
         with pytest.raises(QueryLimitExceeded):
             StratifiedEstimator(

@@ -1,0 +1,146 @@
+"""Concurrency determinism: the service never changes a result.
+
+The acceptance bar: a batch of >= 8 concurrent submissions returns
+reports **byte-identical** to sequential ``Estimation.run`` for the same
+seeds, at every service worker count — and streamed snapshot sequences
+are equally invariant.  The same holds end-to-end through the
+``repro serve`` line protocol.
+"""
+
+import io
+import json
+import select
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.api import (
+    AggregateSpec,
+    DatasetSpec,
+    Estimation,
+    EstimationSpec,
+    RegimeSpec,
+    TargetSpec,
+)
+from repro.cli import main
+from repro.service import EstimationService
+
+WORKER_COUNTS = (1, 2, 8)
+
+
+def batch_specs():
+    """A mixed batch of 8 specs: seeds, stops and aggregates all vary."""
+    target = TargetSpec(dataset=DatasetSpec(name="iid", m=400, seed=3), k=24)
+    specs = [
+        EstimationSpec(target=target, regime=RegimeSpec(rounds=4, seed=seed))
+        for seed in range(5)
+    ]
+    specs.append(
+        EstimationSpec(
+            target=target, regime=RegimeSpec(query_budget=150, seed=5)
+        )
+    )
+    specs.append(
+        EstimationSpec(
+            target=target,
+            aggregate=AggregateSpec(kind="sum", measure="VALUE"),
+            regime=RegimeSpec(rounds=4, seed=6),
+        )
+    )
+    specs.append(
+        EstimationSpec(
+            target=target,
+            aggregate=AggregateSpec(kind="count", condition={"A1": 1}),
+            regime=RegimeSpec(rounds=4, seed=7),
+        )
+    )
+    return specs
+
+
+class TestBatchDeterminism:
+    def test_reports_byte_identical_across_worker_counts(self):
+        specs = batch_specs()
+        sequential = [Estimation(spec).run().to_json() for spec in specs]
+        for workers in WORKER_COUNTS:
+            with EstimationService(workers=workers, cache_size=0) as service:
+                jobs = service.submit_many(specs)
+                served = [job.result(120).to_json() for job in jobs]
+            assert served == sequential, f"workers={workers} diverged"
+
+    def test_streamed_snapshot_sequences_invariant(self):
+        specs = batch_specs()
+        sequences = {}
+        for workers in WORKER_COUNTS:
+            with EstimationService(workers=workers, cache_size=0) as service:
+                jobs = [service.submit(spec, stream=True) for spec in specs]
+                sequences[workers] = [
+                    [snapshot.to_json() for snapshot in job.snapshots()]
+                    for job in jobs
+                ]
+                for job in jobs:
+                    job.result(120)
+        assert sequences[1] == sequences[2] == sequences[8]
+        assert all(len(seq) > 0 for seq in sequences[1])
+
+    def test_interleaved_duplicate_submissions_stay_exact(self):
+        # Duplicates racing each other (cache on) must still all report
+        # the sequential bytes — hit or miss.
+        spec = batch_specs()[0]
+        expected = Estimation(spec).run().to_json()
+        with EstimationService(workers=8) as service:
+            jobs = [service.submit(spec) for _ in range(12)]
+            assert all(j.result(120).to_json() == expected for j in jobs)
+            cache = service.metrics()["cache"]
+            assert cache["hits"] + cache["misses"] == 12
+
+
+class TestServeInteractiveClient:
+    def test_request_response_client_never_deadlocks(self):
+        # A client that waits for each reply before sending the next
+        # line: emission must be completion-driven, not stdin-driven.
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--workers", "2"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True, bufsize=1,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            for seed in (1, 2):
+                spec = batch_specs()[seed].to_json()
+                proc.stdin.write(spec + "\n")
+                proc.stdin.flush()
+                ready, _, _ = select.select([proc.stdout], [], [], 60)
+                assert ready, "no response before the next request: deadlock"
+                response = json.loads(proc.stdout.readline())
+                assert response["status"] == "done"
+        finally:
+            proc.stdin.close()
+            assert proc.wait(30) == 0
+
+
+class TestServeProtocolDeterminism:
+    def run_serve(self, lines, workers, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("\n".join(lines) + "\n")
+        )
+        assert main(["serve", "--workers", str(workers)]) == 0
+        out = capsys.readouterr().out
+        return [json.loads(line) for line in out.strip().splitlines()]
+
+    def test_serve_batch_matches_sequential_run(self, monkeypatch, capsys):
+        specs = batch_specs()
+        sequential = [Estimation(spec).run().to_dict() for spec in specs]
+        lines = [spec.to_json() for spec in specs]
+        responses_by_workers = {
+            workers: self.run_serve(lines, workers, monkeypatch, capsys)
+            for workers in WORKER_COUNTS
+        }
+        for workers, responses in responses_by_workers.items():
+            assert [r["id"] for r in responses] == list(
+                range(1, len(specs) + 1)
+            ), "responses must come back in input order"
+            assert all(r["status"] == "done" for r in responses)
+            assert [r["report"] for r in responses] == sequential, (
+                f"serve --workers {workers} diverged from Estimation.run"
+            )

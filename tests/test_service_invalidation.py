@@ -1,0 +1,155 @@
+"""Cache invalidation: epoch bumps evict exactly the affected entries."""
+
+import io
+import json
+
+import pytest
+
+from repro.api import DatasetSpec, EstimationSpec, RegimeSpec, TargetSpec
+from repro.cli import main
+from repro.service import EstimationService
+
+DS_A = DatasetSpec(name="iid", m=400, seed=3)
+DS_B = DatasetSpec(name="iid", m=400, seed=4)
+
+
+def make_spec(dataset, seed=1, rounds=4, k=24):
+    return EstimationSpec(
+        target=TargetSpec(dataset=dataset, k=k),
+        regime=RegimeSpec(rounds=rounds, seed=seed),
+    )
+
+
+class TestEpochBumpInvalidation:
+    def test_evicts_only_the_mutated_target(self):
+        with EstimationService(workers=1) as service:
+            before_a = service.submit(make_spec(DS_A)).result(60)
+            before_b = service.submit(make_spec(DS_B)).result(60)
+            delta, evicted = service.apply_updates(
+                DS_A, deletes=list(range(100))
+            )
+            assert delta.num_deleted == 100 and evicted == 1
+
+            job_a = service.submit(make_spec(DS_A))
+            job_b = service.submit(make_spec(DS_B))
+            after_a, after_b = job_a.result(60), job_b.result(60)
+            # A recomputes against the new epoch; B is untouched and free.
+            assert not job_a.cached
+            assert after_a.to_json() != before_a.to_json()
+            assert job_b.cached
+            assert after_b.to_json() == before_b.to_json()
+
+            report = service.metrics()["cache"]
+            assert report["stale_evictions"] == 1
+            assert report["hits"] == 1
+            assert report["misses"] == 3
+
+    def test_multiple_entries_per_target_all_evicted(self):
+        with EstimationService(workers=1) as service:
+            for seed in range(3):
+                service.submit(make_spec(DS_A, seed=seed)).result(60)
+            service.submit(make_spec(DS_B)).result(60)
+            _, evicted = service.apply_updates(DS_A, deletes=[0])
+            assert evicted == 3
+            assert service.metrics()["cache"]["entries"] == 1  # B's entry
+
+    def test_new_epoch_estimates_are_cacheable_again(self):
+        with EstimationService(workers=1) as service:
+            service.submit(make_spec(DS_A)).result(60)
+            service.apply_updates(DS_A, deletes=list(range(50)))
+            first = service.submit(make_spec(DS_A))
+            second = service.submit(make_spec(DS_A))
+            assert first.result(60).to_json() == second.result(60).to_json()
+            assert not first.cached and second.cached
+
+    def test_unknown_dataset_raises(self):
+        with EstimationService(workers=1) as service:
+            with pytest.raises(KeyError, match="no served table"):
+                service.apply_updates(DS_A, deletes=[0])
+
+    def test_lookup_guard_catches_out_of_band_mutation(self):
+        # A caller mutating an injected table *without* telling the
+        # service: the version recorded in the entry no longer matches,
+        # so the lookup itself refuses to serve the stale report.
+        from repro.datasets import bool_iid
+
+        table = bool_iid(m=400, n=10, seed=3)  # private: the test mutates it
+        spec = EstimationSpec(
+            target=TargetSpec(dataset=DatasetSpec(name="custom"), k=24),
+            regime=RegimeSpec(rounds=3, seed=2),
+        )
+        with EstimationService(workers=1) as service:
+            service.submit(spec, table=table).result(60)
+            table.apply_updates(deletes=[0, 1])  # behind the service's back
+            job = service.submit(spec, table=table)
+            job.result(60)
+            assert not job.cached
+            assert service.metrics()["cache"]["stale_evictions"] == 1
+
+    def test_injected_federation_version_guards_the_cache(self):
+        # Cached federated reports bind to the sum of the source tables'
+        # versions — mutating any source stales the entry.
+        from repro.api import FederationSpec, MethodSpec
+        from repro.datasets.federation import heterogeneous_federation
+
+        federation = heterogeneous_federation(
+            num_sources=2, base_m=150, k=16, seed=5
+        )
+        spec = EstimationSpec(
+            target=TargetSpec(
+                federation=FederationSpec(sources=2, base_m=150, seed=5),
+                k=16,
+            ),
+            regime=RegimeSpec(query_budget=250, seed=1),
+            method=MethodSpec(pilot_rounds=2),
+        )
+        with EstimationService(workers=1) as service:
+            first = service.submit(spec, federation=federation).result(60)
+            repeat = service.submit(spec, federation=federation)
+            assert repeat.result(60).to_json() == first.to_json()
+            assert repeat.cached
+            federation.sources[0].table.apply_updates(deletes=[0, 1, 2])
+            fresh = service.submit(spec, federation=federation)
+            fresh.result(60)
+            assert not fresh.cached
+            assert service.metrics()["cache"]["stale_evictions"] == 1
+
+    def test_invalidate_by_table_and_token(self, small_iid_table):
+        spec = EstimationSpec(
+            target=TargetSpec(dataset=DatasetSpec(name="custom"), k=24),
+            regime=RegimeSpec(rounds=3, seed=2),
+        )
+        with EstimationService(workers=1) as service:
+            service.submit(spec, table=small_iid_table).result(60)
+            assert service.invalidate(small_iid_table) == 1
+            assert service.invalidate(small_iid_table) == 0
+
+
+class TestServeUpdateOp:
+    def test_update_over_the_wire(self, monkeypatch, capsys):
+        spec_line = make_spec(DS_A).to_json()
+        update = json.dumps({
+            "op": "update",
+            "dataset": {"name": "iid", "m": 400, "seed": 3},
+            "deletes": list(range(100)),
+        })
+        # The cache op is a barrier: it drains in-flight jobs, so the
+        # repeat submission observes the first run's cache entry even at
+        # workers > 1 (duplicates racing each other would both miss).
+        barrier = json.dumps({"op": "cache"})
+        lines = [spec_line, barrier, spec_line, update, spec_line]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", "--workers", "2"]) == 0
+        responses = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        first, barrier_reply, repeat, bump, fresh = responses
+        assert barrier_reply["cache"]["entries"] == 1
+        assert not first["cached"] and repeat["cached"]
+        assert repeat["report"] == first["report"]
+        assert bump["status"] == "ok"
+        assert bump["delta"]["deleted_ids"] == list(range(100))
+        assert bump["evicted"] == 1
+        assert not fresh["cached"]
+        assert fresh["report"]["estimate"] != first["report"]["estimate"]

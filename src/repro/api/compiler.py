@@ -81,6 +81,9 @@ def build_estimator(spec: EstimationSpec, table):
             if method.weight_adjustment is not None
             else True
         ),
+        batch_probes=(
+            method.batch_probes if method.batch_probes is not None else True
+        ),
         condition=aggregate.condition,
         seed=spec.regime.seed,
     )
@@ -144,6 +147,7 @@ def build_federated_estimator(spec: EstimationSpec, target):
             method.pilot_rounds if method.pilot_rounds is not None else 3
         ),
         seed=spec.regime.seed,
+        executor=spec.regime.executor,
     )
     if aggregate.kind == "size":
         return FederatedSizeEstimator(target, **common)
@@ -180,12 +184,13 @@ def tracker_kwargs(spec: EstimationSpec) -> Tuple[dict, dict]:
         seed=regime.seed,
         churn_seed=churn.seed,
         workers=regime.workers,
+        executor=regime.executor,
         backend=target.backend,
     )
     # The walk knobs default to track()'s plain single-drill-down walk;
     # forward them only when the spec sets them, so a knob-less spec
     # stays byte-identical to a legacy track() call.
-    for knob in ("r", "dub", "weight_adjustment"):
+    for knob in ("r", "dub", "weight_adjustment", "batch_probes"):
         value = getattr(method, knob)
         if value is not None:
             build_kwargs[knob] = value

@@ -250,6 +250,7 @@ class Estimation:
                 rounds=resolve_rounds(self.spec),
                 query_budget=regime.query_budget,
                 workers=regime.workers,
+                executor=regime.executor,
             )
         return report_from_estimation(result, mode, self.spec)
 
@@ -357,7 +358,9 @@ class Estimation:
         # Same session-seed derivation as the facade's run() at
         # workers > 1 — one draw from the estimator's RNG.
         session_seed = int(estimator.rng.integers(0, 2**63 - 1))
-        session = estimator.parallel_session(workers, seed=session_seed)
+        session = estimator.parallel_session(
+            workers, seed=session_seed, executor=spec.regime.executor
+        )
         master = spawn_rng(session_seed)
         budget = as_budget(spec.regime.query_budget)
         stream.budget = budget

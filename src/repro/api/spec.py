@@ -213,7 +213,9 @@ class RegimeSpec:
     (whichever stop fires first).  ``workers > 1`` fans rounds out over
     a :class:`~repro.core.engine.ParallelSession` (results are
     worker-count invariant); *target_precision* is an adaptive sequential
-    stop and refuses ``workers > 1``.
+    stop and refuses ``workers > 1``.  *executor* picks the pool flavour
+    (``"thread"`` or ``"process"`` — shared-memory workers); results are
+    executor-invariant too, so it is purely a wall-clock knob.
     """
 
     rounds: Optional[int] = None
@@ -221,8 +223,13 @@ class RegimeSpec:
     target_precision: Optional[float] = None
     seed: int = 0
     workers: int = 1
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
+        _require(
+            self.executor in ("thread", "process"),
+            f"executor must be 'thread' or 'process', got {self.executor!r}",
+        )
         _require(
             self.rounds is None or self.rounds >= 1,
             f"rounds must be >= 1, got {self.rounds}",
@@ -252,6 +259,9 @@ class MethodSpec:
     static and budgeted runs; the plain single-drill-down walk for
     tracking, matching :func:`repro.core.dynamic.track`).  Federated
     specs refuse them — each :class:`FederatedSource` carries its own.
+    *batch_probes* toggles the walker's vectorised sibling-probe batching
+    (``None`` = on); charges, cache state and estimates are identical
+    either way, so it is a wall-clock knob like ``regime.executor``.
     *policy*
     names the tracking policy (``reissue`` / ``restart``) or the
     federated allocation policy (``uniform`` / ``cost_weighted`` /
@@ -261,6 +271,7 @@ class MethodSpec:
     r: Optional[int] = None
     dub: Optional[int] = None
     weight_adjustment: Optional[bool] = None
+    batch_probes: Optional[bool] = None
     policy: Optional[str] = None
     pilot_rounds: Optional[int] = None
     reissue_per_epoch: Optional[int] = None
@@ -344,10 +355,11 @@ class EstimationSpec:
             _require(
                 method.r is None
                 and method.dub is None
-                and method.weight_adjustment is None,
-                "r/dub/weight_adjustment are per-source properties of a "
-                "federation (each FederatedSource carries its own); they "
-                "cannot be set on a federated spec",
+                and method.weight_adjustment is None
+                and method.batch_probes is None,
+                "r/dub/weight_adjustment/batch_probes are per-source "
+                "properties of a federation (each FederatedSource carries "
+                "its own); they cannot be set on a federated spec",
             )
             if method.policy is not None:
                 from repro.federation.policies import available_policies

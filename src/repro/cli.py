@@ -115,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--workers", type=int, default=1,
                      help="fan rounds out over N workers (ParallelSession; "
                           "results are worker-count independent)")
+    est.add_argument("--executor", choices=["thread", "process"],
+                     default="thread",
+                     help="worker pool kind at workers > 1 (process = "
+                          "shared-memory subprocesses; results are "
+                          "executor-independent)")
     est.add_argument("--json", action="store_true",
                      help="emit the full AggregateReport as JSON")
 
@@ -147,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default="scan")
     fed.add_argument("--workers", type=int, default=1,
                      help="per-source round fan-out (output is worker-count "
+                          "independent)")
+    fed.add_argument("--executor", choices=["thread", "process"],
+                     default="thread",
+                     help="worker pool kind (results are executor-"
                           "independent)")
     fed.add_argument("--seed", type=int, default=0)
     fed.add_argument("--json", action="store_true", help="emit JSON")
@@ -183,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default="scan")
     trk.add_argument("--workers", type=int, default=1,
                      help="per-epoch round fan-out (output is worker-count "
+                          "independent)")
+    trk.add_argument("--executor", choices=["thread", "process"],
+                     default="thread",
+                     help="worker pool kind (results are executor-"
                           "independent)")
     trk.add_argument("--json", action="store_true", help="emit JSON")
 
@@ -261,6 +274,7 @@ def _estimate_spec(args) -> EstimationSpec:
             target_precision=args.target_precision,
             seed=args.seed,
             workers=args.workers,
+            executor=args.executor,
         ),
         method=MethodSpec(r=args.r, dub=args.dub),
     )
@@ -279,7 +293,10 @@ def _federate_spec(args) -> EstimationSpec:
             backend=args.backend,
         ),
         regime=RegimeSpec(
-            query_budget=args.budget, seed=args.seed, workers=args.workers
+            query_budget=args.budget,
+            seed=args.seed,
+            workers=args.workers,
+            executor=args.executor,
         ),
         method=MethodSpec(policy=args.policy, pilot_rounds=args.pilot_rounds),
     )
@@ -296,7 +313,10 @@ def _track_spec(args) -> EstimationSpec:
             ),
         ),
         regime=RegimeSpec(
-            rounds=args.rounds, seed=args.seed, workers=args.workers
+            rounds=args.rounds,
+            seed=args.seed,
+            workers=args.workers,
+            executor=args.executor,
         ),
         method=MethodSpec(
             policy=args.policy,

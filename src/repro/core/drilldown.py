@@ -107,11 +107,18 @@ class Walker:
         Random generator driving the picks.
     """
 
-    def __init__(self, client: HiddenDBClient, weights, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        client: HiddenDBClient,
+        weights,
+        rng: np.random.Generator,
+        batch_probes: bool = True,
+    ) -> None:
         self.client = client
         self.weights = weights
         self.rng = rng
         self.schema = client.schema
+        self.batch_probes = bool(batch_probes)
         self.walks_performed = 0
 
     # -- public API ------------------------------------------------------
@@ -163,7 +170,21 @@ class Walker:
         """
         fanout = self.schema[attr].domain_size
         dist = np.asarray(self.weights.branch_distribution(node.key, attr, fanout))
-        start = int(self.rng.choice(fanout, p=dist))
+        if self.batch_probes:
+            # Inverse-CDF sampling: the exact arithmetic Generator.choice
+            # performs for a weighted scalar draw (same cdf, same single
+            # uniform, same searchsorted side), so the picked branch and
+            # the RNG stream advance bit-identically — without choice()'s
+            # validation and shuffle machinery.
+            cdf = dist.cumsum()
+            cdf /= cdf[-1]
+            start = int(cdf.searchsorted(self.rng.random(), side="right"))
+            if fanout > 2:
+                return self._choose_branch_batched(
+                    node, attr, fanout, dist, start
+                )
+        else:
+            start = int(self.rng.choice(fanout, p=dist))
 
         # Smart backtracking: walk right (circularly) from the initial pick
         # until a non-underflowing branch is found.
@@ -196,7 +217,7 @@ class Walker:
                 "underflow although the node overflows - inconsistent table"
             )
 
-        landed_query = node.extended(attr, value)
+        landed_query = query  # the loop built it for the landed value already
         valid = result.valid
 
         # Landing probability = pick probability of the landed branch plus
@@ -221,3 +242,82 @@ class Walker:
             # certain.
             probability = 1.0
         return _Landing(value, landed_query, result, probability, valid)
+
+    def _choose_branch_batched(
+        self,
+        node: ConjunctiveQuery,
+        attr: int,
+        fanout: int,
+        dist: np.ndarray,
+        start: int,
+    ) -> _Landing:
+        """The fanout>2 level with sibling probes issued as batches.
+
+        Equivalent to the scalar path probe for probe: the right-walk and
+        the left-walk each become one :meth:`HiddenDBClient.query_many`
+        call whose ``until`` predicate reproduces the walk's early exit, so
+        the consumed probes — and therefore every charge and cache entry —
+        are exactly those the sequential walk would have issued, in the
+        same order.  The backend, however, classifies each window in one
+        vectorised pass instead of one narrowing per probe.
+        """
+        client = self.client
+        weights = self.weights
+        # Right walk: probe the initial pick; on underflow, batch the rest
+        # of the circular window until the first non-underflowing sibling.
+        value = start
+        query = node.extended(attr, value)
+        result = client.query(query, count_only=True)
+        backtracked = False
+        if result.underflow:
+            backtracked = True
+            window = [(start + i) % fanout for i in range(1, fanout)]
+            siblings = [node.extended(attr, v) for v in window]
+            batch = client.query_many(
+                siblings, count_only=True, until=_landed_somewhere
+            )
+            weights.mark_empty(node.key, attr, fanout, start)
+            for v, sibling_result in zip(window, batch):
+                if sibling_result.underflow:
+                    weights.mark_empty(node.key, attr, fanout, v)
+            result = batch[-1]
+            if result.underflow:
+                raise RuntimeError(
+                    f"all {fanout} branches of {node!r} on attribute {attr} "
+                    "underflow although the node overflows - inconsistent table"
+                )
+            landed = len(batch) - 1
+            value = window[landed]
+            query = siblings[landed]
+        valid = result.valid
+
+        # Left walk: the landed branch's run of consecutive underflowing
+        # predecessors.  The first predecessor is probed singly — in the
+        # common case it does not underflow and the walk ends after one
+        # probe, costing no batch machinery; only when a run actually
+        # starts is the rest of the circle batched.
+        probability = float(dist[value])
+        first = (value - 1) % fanout
+        pred_result = client.query(node.extended(attr, first), count_only=True)
+        if pred_result.underflow:
+            weights.mark_empty(node.key, attr, fanout, first)
+            probability += float(dist[first])
+            rest = [(value - 2 - i) % fanout for i in range(fanout - 2)]
+            candidates = [node.extended(attr, p) for p in rest]
+            batch = client.query_many(
+                candidates, count_only=True, until=_landed_somewhere
+            )
+            for p, rest_result in zip(rest, batch):
+                if rest_result.underflow:
+                    weights.mark_empty(node.key, attr, fanout, p)
+                    probability += float(dist[p])
+            if batch[-1].underflow:
+                # Full circle: every other branch underflows; landing here
+                # was certain.
+                probability = 1.0
+        return _Landing(value, query, result, probability, valid)
+
+
+def _landed_somewhere(result: QueryResult) -> bool:
+    """``until`` predicate of a probe window: stop at non-underflow."""
+    return not result.underflow

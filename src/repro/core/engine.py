@@ -79,6 +79,19 @@ def _run_round(factory: EstimatorFactory, seed: int):
     return round_estimate, stats
 
 
+def _run_round_batch(factory: EstimatorFactory, seeds: List[int]):
+    """Process-pool task body: a contiguous run of rounds in one message.
+
+    Submitting rounds one by one to a process pool pays the factory
+    pickle, the task dispatch and the result pipe once *per round*; the
+    engine instead ships each worker its whole slice of the wave in a
+    single task.  Seed order inside the slice is preserved, and each seed
+    still gets the standard one-fresh-estimator-per-round treatment, so
+    the outcome list is exactly what per-seed submission would produce.
+    """
+    return [_run_round(factory, seed) for seed in seeds]
+
+
 def merge_rounds(
     per_round: List["object"],
     statistic: Callable[[np.ndarray], float],
@@ -179,12 +192,35 @@ class ParallelSession:
     def _get_pool(self):
         """The session's persistent worker pool (created on first use)."""
         if self._pool is None:
-            pool_cls = (
-                ThreadPoolExecutor if self.executor == "thread"
-                else ProcessPoolExecutor
-            )
-            self._pool = pool_cls(max_workers=self.workers)
+            if self.executor == "process":
+                self._check_factory_picklable()
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._pool
+
+    def _check_factory_picklable(self) -> None:
+        """Fail fast — and intelligibly — on an unpicklable factory.
+
+        Without this, a lambda factory surfaces as a ``BrokenProcessPool``
+        several frames away from the actual culprit.  The check runs once,
+        at pool creation, after ``prepare_shared_memory`` has swapped the
+        table payload for its handle — so it prices and validates the real
+        task payload.
+        """
+        import pickle
+
+        try:
+            pickle.dumps(self.factory)
+        except Exception as exc:
+            raise TypeError(
+                f"executor='process' needs a picklable estimator factory, "
+                f"but {self.factory!r} cannot be pickled ({exc}).  Lambdas "
+                "and closures never cross process boundaries - build the "
+                "session via estimator.parallel_session(), or pass a "
+                "module-level callable / functools.partial; alternatively "
+                "keep executor='thread'."
+            ) from exc
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; sessions stay usable —
@@ -192,6 +228,9 @@ class ParallelSession:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        release = getattr(self.factory, "release_shared_memory", None)
+        if release is not None:
+            release()
 
     def __enter__(self) -> "ParallelSession":
         return self
@@ -227,6 +266,23 @@ class ParallelSession:
         if self.workers == 1:
             for i, seed in enumerate(seeds):
                 outcomes[i] = _run_round(self.factory, seed)
+        elif self.executor == "process":
+            # Shared-memory transport: export the table columns once (a
+            # per-version no-op on later waves), then ship each worker its
+            # contiguous slice of the wave as ONE task — the payload is a
+            # handle plus seeds, not the table.  Slices preserve seed
+            # order, so reassembly is a flat copy.
+            prepare = getattr(self.factory, "prepare_shared_memory", None)
+            if prepare is not None:
+                prepare()
+            pool = self._get_pool()
+            futures = {
+                pool.submit(_run_round_batch, self.factory, chunk): start
+                for start, chunk in _contiguous_chunks(seeds, self.workers)
+            }
+            for future, start in futures.items():
+                for j, outcome in enumerate(future.result()):
+                    outcomes[start + j] = outcome
         else:
             pool = self._get_pool()
             futures = {
@@ -344,6 +400,23 @@ class ParallelSession:
             template = self.factory(0)
             statistic = template._statistic
         return merge_rounds(per_round, statistic, dims, stop_reason=stop_reason)
+
+
+def _contiguous_chunks(seeds: List[int], workers: int):
+    """Split *seeds* into at most *workers* contiguous, balanced slices.
+
+    Yields ``(start_index, slice)`` pairs.  Contiguity is what keeps the
+    process path's reassembly trivially order-preserving; balance (sizes
+    differ by at most one) keeps the wave's critical path at
+    ``ceil(n / workers)`` rounds.
+    """
+    parts = min(workers, len(seeds))
+    base, extra = divmod(len(seeds), parts)
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        yield start, seeds[start:start + size]
+        start += size
 
 
 def _sum_reports(reports: List[Dict[str, float]]) -> Dict[str, float]:

@@ -139,6 +139,39 @@ class _RoundFactory:
     def __call__(self, seed: int) -> "_DrillDownEstimator":
         return self.template._spawn(self.template._clone_client(seed), seed)
 
+    # -- process-pool transport (duck-typed engine hooks) -----------------
+
+    def _table(self):
+        """The template's underlying table, unwrapping interface layers."""
+        interface = self.template.client.interface
+        inner = getattr(interface, "interface", None)
+        if inner is not None:  # e.g. FlakyInterface wrapping the real form
+            interface = inner
+        return getattr(interface, "table", None)
+
+    def prepare_shared_memory(self) -> None:
+        """Export the table's columns once before a wave of process tasks.
+
+        Called by the engine ahead of every process-pool wave; idempotent
+        per table version, so repeated waves (and dynamic sessions that
+        mutate the table between waves) pay one copy per epoch, after
+        which every task submission pickles a zero-copy handle instead of
+        the columns.
+        """
+        table = self._table()
+        if table is not None:
+            from repro.hidden_db.sharing import export_table
+
+            export_table(table)
+
+    def release_shared_memory(self) -> None:
+        """Unlink the shared-memory export (engine close; idempotent)."""
+        table = self._table()
+        export = getattr(table, "_shared_export", None)
+        if export is not None:
+            export.close()
+            table._shared_export = None
+
 
 class _DrillDownEstimator:
     """Shared machinery of the HD-UNBIASED family.
@@ -162,6 +195,7 @@ class _DrillDownEstimator:
         attribute_order: Optional[Sequence[int]] = None,
         seed: RandomSource = None,
         smoothing: float = 0.25,
+        batch_probes: bool = True,
     ) -> None:
         if r < 1:
             raise ValueError(f"r must be >= 1, got {r}")
@@ -169,6 +203,7 @@ class _DrillDownEstimator:
         self.r = int(r)
         self.dub = dub
         self.weight_adjustment = bool(weight_adjustment)
+        self.batch_probes = bool(batch_probes)
         self.condition = resolve_condition(client.schema, condition)
         self.root = self.condition if self.condition is not None else ConjunctiveQuery()
         order = free_attribute_order(client.schema, self.condition, attribute_order)
@@ -181,7 +216,7 @@ class _DrillDownEstimator:
         self.segments = segment_attributes(order, client.schema, dub)
         self.rng = spawn_rng(seed)
         weights = WeightStore(smoothing=smoothing) if weight_adjustment else UniformWeights()
-        self.walker = Walker(client, weights, self.rng)
+        self.walker = Walker(client, weights, self.rng, batch_probes=self.batch_probes)
         # Recorded so parallel sessions can rebuild sibling estimators.
         self._session_config = dict(
             r=self.r,
@@ -190,6 +225,7 @@ class _DrillDownEstimator:
             condition=self.condition,
             attribute_order=tuple(self.attribute_order),
             smoothing=smoothing,
+            batch_probes=self.batch_probes,
         )
 
     # -- to be provided by subclasses ------------------------------------
@@ -297,7 +333,10 @@ class _DrillDownEstimator:
         """One full pass -> one unbiased estimate of the mass vector."""
         cost_before = self.client.cost
         walks_before = self.walker.walks_performed
-        root_page = self.client.query(self.root)
+        # count_only: the root page's classification decides everything the
+        # estimators need here; its tuples stay lazy and materialise only
+        # if a mass function reads them (exact-valid roots under AGG).
+        root_page = self.client.query(self.root, count_only=True)
         if root_page.underflow:
             values = np.zeros(self._dims)
         elif root_page.valid:
@@ -545,6 +584,7 @@ class BoolUnbiasedSize(HDUnbiasedSize):
         condition: ConditionLike = None,
         attribute_order: Optional[Sequence[int]] = None,
         seed: RandomSource = None,
+        batch_probes: bool = True,
     ) -> None:
         super().__init__(
             client,
@@ -554,6 +594,7 @@ class BoolUnbiasedSize(HDUnbiasedSize):
             condition=condition,
             attribute_order=attribute_order,
             seed=seed,
+            batch_probes=batch_probes,
         )
 
     def _spawn(self, client: HiddenDBClient, seed: RandomSource) -> "BoolUnbiasedSize":
@@ -562,6 +603,7 @@ class BoolUnbiasedSize(HDUnbiasedSize):
             condition=self.condition,
             attribute_order=self._session_config["attribute_order"],
             seed=seed,
+            batch_probes=self.batch_probes,
         )
 
 

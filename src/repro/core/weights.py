@@ -35,6 +35,24 @@ __all__ = ["BranchRecord", "WeightStore", "UniformWeights", "OracleWeights"]
 
 NodeBranchKey = Tuple[frozenset, int]  # (node query key, attribute index)
 
+_UNIFORM_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _uniform(fanout: int) -> np.ndarray:
+    """The shared, frozen uniform distribution over *fanout* branches.
+
+    Every no-history lookup returns this one array, so the hot no-record
+    path allocates nothing.  It is marked read-only — distributions are
+    shared across calls, and a caller mutating one would silently skew
+    every later pick, so numpy is told to refuse.
+    """
+    dist = _UNIFORM_CACHE.get(fanout)
+    if dist is None:
+        dist = np.full(fanout, 1.0 / fanout)
+        dist.flags.writeable = False
+        _UNIFORM_CACHE[fanout] = dist
+    return dist
+
 
 @dataclass
 class BranchRecord:
@@ -52,6 +70,8 @@ class BranchRecord:
             self.mass_sum = np.zeros(self.fanout, dtype=float)
         if self.visits is None:
             self.visits = np.zeros(self.fanout, dtype=np.int64)
+        # Memoised pick distribution; dropped on every statistics update.
+        self._dist: Optional[np.ndarray] = None
 
     def estimated_masses(self) -> np.ndarray:
         """Per-branch subtree-mass estimates (Eq. 6); nan where unvisited."""
@@ -89,7 +109,10 @@ class WeightStore:
 
     def mark_empty(self, node_key: frozenset, attr: int, fanout: int, value: int) -> None:
         """Record that branch *value* underflows (holds no tuples)."""
-        self._record(node_key, attr, fanout).known_empty[value] = True
+        rec = self._record(node_key, attr, fanout)
+        if not rec.known_empty[value]:
+            rec.known_empty[value] = True
+            rec._dist = None
 
     def add_mass(
         self, node_key: frozenset, attr: int, fanout: int, value: int, mass: float
@@ -98,6 +121,7 @@ class WeightStore:
         rec = self._record(node_key, attr, fanout)
         rec.mass_sum[value] += mass
         rec.visits[value] += 1
+        rec._dist = None
 
     def record_walk(self, steps, terminal_mass: float) -> None:
         """Credit an entire walk's path with its terminal mass.
@@ -143,32 +167,39 @@ class WeightStore:
         """
         rec = self._records.get((node_key, attr))
         if rec is None:
-            return np.full(fanout, 1.0 / fanout)
+            return _uniform(fanout)
+        if rec._dist is not None:
+            # Pure function of the record's statistics, which are unchanged
+            # since the memo was stored — same bits as recomputing.
+            return rec._dist
         candidates = ~rec.known_empty
         n_candidates = int(candidates.sum())
         if n_candidates == 0:
             # Inconsistent history (every branch marked empty under an
             # overflowing node) cannot happen via the walker; fall back to
             # uniform so callers never divide by zero.
-            return np.full(fanout, 1.0 / fanout)
+            return _uniform(fanout)
         est = rec.estimated_masses()
         explored = candidates & (rec.visits > 0)
-        weights = np.zeros(fanout, dtype=float)
+        # est is nan exactly where unvisited; np.maximum propagates the
+        # nans, but the selects below only ever read floored[explored],
+        # which is nan-free — this is the per-value loop, vectorised.
+        with np.errstate(invalid="ignore"):
+            floored = np.maximum(est, self.mass_floor)
         if explored.any():
-            default = float(np.nanmean(np.maximum(est[explored], self.mass_floor)))
+            default = float(floored[explored].mean())
         else:
             default = self.mass_floor
-        for v in range(fanout):
-            if not candidates[v]:
-                continue
-            if explored[v]:
-                weights[v] = max(est[v], self.mass_floor)
-            else:
-                weights[v] = default
+        weights = np.where(
+            explored, floored, np.where(candidates, default, 0.0)
+        )
         weights /= weights.sum()
         uniform = candidates / n_candidates
         dist = (1.0 - self.smoothing) * weights + self.smoothing * uniform
-        return dist / dist.sum()
+        dist /= dist.sum()
+        dist.flags.writeable = False
+        rec._dist = dist
+        return dist
 
     def __len__(self) -> int:
         return len(self._records)
@@ -234,4 +265,4 @@ class UniformWeights:
         pass
 
     def branch_distribution(self, node_key, attr, fanout: int) -> np.ndarray:  # noqa: D102
-        return np.full(fanout, 1.0 / fanout)
+        return _uniform(fanout)

@@ -31,7 +31,19 @@ silently resurrect them — correctness never depends on opting in.
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict, Mapping, Optional, Protocol, Type, Union, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -45,6 +57,7 @@ __all__ = [
     "available_backends",
     "register_backend",
     "make_backend",
+    "sibling_window",
 ]
 
 
@@ -67,6 +80,19 @@ class SelectionBackend(Protocol):
 
     def selection_count(self, query: ConjunctiveQuery) -> int:
         """``|Sel(query)|`` — may be cheaper than materialising the ids."""
+        ...
+
+    def selection_counts_many(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> List[int]:
+        """``[|Sel(q)| for q in queries]`` in one bulk evaluation.
+
+        Semantically identical to a per-query :meth:`selection_count` loop;
+        implementations vectorise the common *sibling window* shape (the
+        drill-down probes of one level: same parent conjunction, same
+        attribute, different values) into a single pass over the parent's
+        matching rows instead of one pass per value.
+        """
         ...
 
     def selection_measure_sum(self, query: ConjunctiveQuery, measure: str) -> float:
@@ -179,6 +205,37 @@ def make_backend(
             )
         options["alive"] = alive
     return cls(data, measures, **options)
+
+
+def sibling_window(
+    queries: Sequence[ConjunctiveQuery],
+) -> Optional[Tuple[ConjunctiveQuery, int, List[int]]]:
+    """Detect the drill-down probe shape: siblings below one parent.
+
+    Returns ``(parent, attr, values)`` when every query extends the same
+    parent conjunction by a predicate on the same attribute (the batched
+    probes of one drill-down level), else ``None``.  The parent is
+    reconstructed from the shared prefix; backends use it to evaluate the
+    whole window from the parent's matching rows in one pass.
+    """
+    if len(queries) < 2:
+        return None
+    first = queries[0].predicates
+    if not first:
+        return None
+    attr = first[-1][0]
+    prefix = first[:-1]
+    values = []
+    for query in queries:
+        predicates = query.predicates
+        if (
+            len(predicates) != len(first)
+            or predicates[:-1] != prefix
+            or predicates[-1][0] != attr
+        ):
+            return None
+        values.append(predicates[-1][1])
+    return ConjunctiveQuery(prefix), attr, values
 
 
 def _accepts_alive(ctor) -> bool:

@@ -25,11 +25,11 @@ tests and benchmarks can assert the incremental path actually ran.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.hidden_db.backends.base import register_backend
+from repro.hidden_db.backends.base import register_backend, sibling_window
 from repro.hidden_db.exceptions import SchemaError
 from repro.hidden_db.query import ConjunctiveQuery
 from repro.hidden_db.versioning import TableDelta
@@ -183,6 +183,35 @@ class BitmapIndexBackend:
         if mask is None:
             return int(self._all_rows.size)
         return int(np.count_nonzero(mask))
+
+    def selection_counts_many(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> List[int]:
+        """Bulk counts; sibling windows become one stacked mask reduction.
+
+        A window of sibling probes shares its parent mask: the per-value
+        membership masks are sliced as one ``(len(values), m)`` boolean
+        stack, AND-ed with the parent mask by broadcasting, and popcounted
+        along the row axis — a handful of vectorised passes for the whole
+        window.  Non-window batches fall back to per-query popcounts.
+        """
+        window = sibling_window(queries)
+        if window is None:
+            return [self.selection_count(q) for q in queries]
+        parent, attr, values = window
+        attr_masks = self._masks[attr]
+        domain = attr_masks.shape[0]
+        in_range = [v for v in values if v < domain]
+        counts: Dict[int, int] = {v: 0 for v in values}
+        if in_range:
+            stack = attr_masks[np.asarray(in_range), : self._num_rows]
+            parent_mask = self._mask(parent)
+            if parent_mask is not None:
+                stack = stack & parent_mask[np.newaxis, :]
+            popcounts = np.count_nonzero(stack, axis=1)
+            for v, c in zip(in_range, popcounts):
+                counts[v] = int(c)
+        return [counts[v] for v in values]
 
     def selection_measure_sum(self, query: ConjunctiveQuery, measure: str) -> float:
         """SUM(measure) over Sel(q) as a mask/column dot product."""

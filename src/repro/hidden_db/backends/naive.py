@@ -14,11 +14,11 @@ needed — invalidation *is* the scan backend's change-awareness.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.hidden_db.backends.base import register_backend
+from repro.hidden_db.backends.base import register_backend, sibling_window
 from repro.hidden_db.exceptions import SchemaError
 from repro.hidden_db.query import ConjunctiveQuery
 from repro.hidden_db.versioning import TableDelta
@@ -78,8 +78,10 @@ class NaiveScanBackend:
         if cached is not None:
             return cached
         predicates = query.predicates
-        # Find the longest cached prefix of the insertion order.
-        start = len(predicates)
+        # Find the longest cached prefix of the insertion order.  The
+        # full-length prefix is the query's own key, which just missed
+        # above, so the search starts one level up.
+        start = len(predicates) - 1
         base = None
         while start > 0:
             prefix_key = frozenset(predicates[:start])
@@ -100,6 +102,27 @@ class NaiveScanBackend:
     def selection_count(self, query: ConjunctiveQuery) -> int:
         """|Sel(q)| via the id array (shares the prefix cache)."""
         return int(self.selection_ids(query).size)
+
+    def selection_counts_many(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> List[int]:
+        """Bulk counts; sibling windows become one fused scan.
+
+        A window of sibling probes (same parent, same attribute, different
+        values) is answered by narrowing to the parent once and histogramming
+        the attribute column of the parent's rows — O(|parent match|) for
+        the whole window instead of per value.  Anything else falls back to
+        the per-query path (which still shares the prefix cache).
+        """
+        window = sibling_window(queries)
+        if window is None:
+            return [self.selection_count(q) for q in queries]
+        parent, attr, values = window
+        ids = self._all_rows if parent.is_root else self.selection_ids(parent)
+        histogram = np.bincount(
+            self._data[ids, attr], minlength=max(values) + 1
+        )
+        return [int(histogram[v]) for v in values]
 
     def selection_measure_sum(self, query: ConjunctiveQuery, measure: str) -> float:
         """SUM(measure) over Sel(q)."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.hidden_db.exceptions import QueryLimitExceeded
 from repro.hidden_db.query import ConjunctiveQuery
@@ -176,8 +176,6 @@ class HiddenDBClient:
         query is re-charged against the live database — a stale page is
         never served.
         """
-        from repro.hidden_db.flaky import TransientServerError
-
         if self._use_cache:
             self._evict_stale()
             hit = self._cache.get(q.key)
@@ -186,15 +184,23 @@ class HiddenDBClient:
                 self._cache.move_to_end(q.key)
                 return hit
             self.cache_misses += 1
-        attempts = self.retries + 1
-        for attempt in range(attempts):
-            try:
-                result = self.interface.query(q, count_only=count_only)
-                break
-            except TransientServerError:
-                if attempt + 1 >= attempts:
-                    raise
-                self.retries_performed += 1
+        if self.retries == 0:
+            # Fast path: no retry budget means no need to intercept
+            # transient errors (they propagate exactly as the loop's final
+            # failure would) — and no per-call exception-class import.
+            result = self.interface.query(q, count_only=count_only)
+        else:
+            from repro.hidden_db.flaky import TransientServerError
+
+            attempts = self.retries + 1
+            for attempt in range(attempts):
+                try:
+                    result = self.interface.query(q, count_only=count_only)
+                    break
+                except TransientServerError:
+                    if attempt + 1 >= attempts:
+                        raise
+                    self.retries_performed += 1
         if self._use_cache and self._interface_version() == self._cached_version:
             # (The version guard drops a page answered mid-mutation instead
             # of caching it under the wrong epoch.)
@@ -207,6 +213,92 @@ class HiddenDBClient:
                 self._cache.popitem(last=False)
                 self.cache_evictions += 1
         return result
+
+    def query_many(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        count_only: bool = True,
+        until: Optional[Callable[["QueryResult"], bool]] = None,
+    ) -> List["QueryResult"]:
+        """Submit a probe batch; semantically a :meth:`query` loop.
+
+        Equivalent — in results, charges, charge order and cache state — to::
+
+            out = []
+            for q in queries:
+                result = self.query(q, count_only=count_only)
+                out.append(result)
+                if until is not None and until(result):
+                    break
+            return out
+
+        *until* models the drill-down's early exits (smart backtracking
+        stops at the first non-underflowing sibling): only the consumed
+        prefix is ever charged or cached, so batching never costs a query
+        the sequential walk would not have paid.  The win is on the
+        simulation side — the whole window's classification is computed as
+        one bulk backend pass (``classify_many``) up front.
+
+        Falls back to the literal loop when the interface offers no bulk
+        classification (wrapped interfaces: flaky, online — their
+        failure/state streams must see queries one at a time) or when a
+        hard query limit is set (a mid-batch ``QueryLimitExceeded`` must
+        leave exactly the loop's cache state behind).
+        """
+        classify = getattr(self.interface, "classify_many", None)
+        if classify is None or self.interface.counter.limit is not None:
+            out: List["QueryResult"] = []
+            for q in queries:
+                result = self.query(q, count_only=count_only)
+                out.append(result)
+                if until is not None and until(result):
+                    break
+            return out
+        if not queries:
+            return []
+        counter = self.interface.counter
+        use_cache = self._use_cache
+        if use_cache:
+            self._evict_stale()
+        # The remaining window is classified in ONE bulk pass, but only
+        # once the replay reaches its first cache miss — a window served
+        # entirely from cache (or cut short by `until` before any miss)
+        # costs no backend work at all.
+        classified: Optional[List["QueryResult"]] = None
+        classified_from = 0
+        out: List["QueryResult"] = []
+        for i, q in enumerate(queries):
+            if use_cache:
+                hit = self._cache.get(q.key)
+            else:
+                hit = None
+            if hit is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(q.key)
+                result = hit
+            else:
+                if classified is None:
+                    classified = classify(queries[i:])
+                    classified_from = i
+                if use_cache:
+                    self.cache_misses += 1
+                counter.charge(q)
+                result = classified[i - classified_from]
+                if not count_only:
+                    _ = result.tuples
+                if use_cache and self._interface_version() == self._cached_version:
+                    self._cache[q.key] = result
+                    self._cache.move_to_end(q.key)
+                    if (
+                        self.max_cache_entries is not None
+                        and len(self._cache) > self.max_cache_entries
+                    ):
+                        self._cache.popitem(last=False)
+                        self.cache_evictions += 1
+            out.append(result)
+            if until is not None and until(result):
+                break
+        return out
 
     def is_cached(self, q: ConjunctiveQuery) -> bool:
         """True when *q* would be answered without charging the server."""
@@ -262,6 +354,18 @@ class HiddenDBClient:
             "hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
             "retries_performed": self.retries_performed,
         }
+
+    def __getstate__(self):
+        """Pickle with an empty result cache.
+
+        Cached pages are lazy (their materialisers close over the
+        interface) and unpicklable; a pickled client starts cold.  That is
+        exactly the parallel-round contract anyway — worker rounds never
+        reuse the template client's cache.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -214,6 +214,15 @@ class TopKInterface:
             # selection_ids once lets the backend's id cache serve the
             # materialiser instead of evaluating the conjunction twice.
             total = int(backend.selection_ids(q).size)
+        result = self._classified(q, total)
+        if not count_only:
+            # Eager path: build the page now (the classic interface
+            # contract); hot loops pass count_only=True to skip it.
+            _ = result.tuples
+        return result
+
+    def _classified(self, q: ConjunctiveQuery, total: int) -> QueryResult:
+        """A (lazy) result page from an already-computed match count."""
         if total == 0:
             return QueryResult(QueryOutcome.UNDERFLOW, ())
         if total <= self.k:
@@ -223,16 +232,66 @@ class TopKInterface:
             outcome = QueryOutcome.OVERFLOW
             num_returned = self.k
         version = self.version
-        result = QueryResult(
+        return QueryResult(
             outcome,
             num_returned=num_returned,
             materializer=lambda: self._materialize_page(q, outcome, version),
         )
+
+    def classify_many(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> List[QueryResult]:
+        """Classify a batch of queries in bulk **without charging**.
+
+        This is the simulation-side half of probe batching: the backend
+        evaluates the whole batch in one pass (see
+        ``SelectionBackend.selection_counts_many``) and each query gets the
+        exact page :meth:`query` would have produced — lazy tuples, same
+        outcome, same count.  No counter charge happens here; charging (and
+        caching) stays with the caller, so per-probe cost accounting is
+        preserved query by query.
+        """
+        schema = self.table.schema
+        for q in queries:
+            q.validate(schema)
+        backend = self.table.backend
+        counts_many = getattr(backend, "selection_counts_many", None)
+        if counts_many is not None:
+            totals = counts_many(queries)
+        else:
+            totals = [backend.selection_count(q) for q in queries]
+        return [self._classified(q, total) for q, total in zip(queries, totals)]
+
+    def query_many(
+        self, queries: Sequence[ConjunctiveQuery], count_only: bool = True
+    ) -> List[QueryResult]:
+        """Submit a batch of queries; equivalent to a :meth:`query` loop.
+
+        Every query is validated and charged individually, in order (a
+        budget exhausting mid-batch raises after charging exactly the same
+        prefix the sequential loop would have), but the page classification
+        runs as one bulk backend evaluation.  With ``count_only=False`` the
+        pages are materialised eagerly, matching the classic contract.
+        """
+        schema = self.table.schema
+        for q in queries:
+            # Validate/charge interleaved per query, exactly like the loop:
+            # a failure mid-batch leaves the same charged prefix behind.
+            q.validate(schema)
+            self.counter.charge(q)
+        backend = self.table.backend
+        counts_many = getattr(backend, "selection_counts_many", None)
+        if counts_many is not None:
+            totals = counts_many(queries)
+        else:
+            totals = [backend.selection_count(q) for q in queries]
+        results = [
+            self._classified(q, total) for q, total in zip(queries, totals)
+        ]
         if not count_only:
-            # Eager path: build the page now (the classic interface
-            # contract); hot loops pass count_only=True to skip it.
-            _ = result.tuples
-        return result
+            for result in results:
+                _ = result.tuples
+        return results
 
     def _materialize_page(
         self, q: ConjunctiveQuery, outcome: QueryOutcome, version: int

@@ -68,12 +68,27 @@ class ConjunctiveQuery:
         a different value raises :class:`InvalidQueryError` (such a query
         node does not exist in the query tree).
         """
-        if attr in self._mapping and self._mapping[attr] != value:
-            raise InvalidQueryError(
-                f"attribute {attr} already fixed to {self._mapping[attr]}, "
-                f"cannot re-fix to {value}"
-            )
-        return ConjunctiveQuery(self._predicates + ((int(attr), int(value)),))
+        attr = int(attr)
+        value = int(value)
+        if attr in self._mapping:
+            if self._mapping[attr] != value:
+                raise InvalidQueryError(
+                    f"attribute {attr} already fixed to {self._mapping[attr]}, "
+                    f"cannot re-fix to {value}"
+                )
+            # Redundant predicate: the general constructor dedups it.
+            return ConjunctiveQuery(self._predicates + ((attr, value),))
+        # Hot path (every drill-down probe lands here): the appended
+        # predicate is on a fresh attribute, so no conflict/dedup scan is
+        # needed — derive the internals directly from the parent's.
+        extended = ConjunctiveQuery.__new__(ConjunctiveQuery)
+        extended._predicates = self._predicates + ((attr, value),)
+        mapping = dict(self._mapping)
+        mapping[attr] = value
+        extended._mapping = mapping
+        extended._key = self._key | {(attr, value)}
+        extended._hash = hash(extended._key)
+        return extended
 
     def with_sibling_value(self, attr: int, value: int) -> "ConjunctiveQuery":
         """The sibling query that differs only in the value of *attr*.

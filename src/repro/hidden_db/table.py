@@ -48,6 +48,13 @@ __all__ = ["HiddenTable"]
 ModificationLike = Union[Sequence[int], Mapping[Union[int, str], int]]
 
 
+def _restore_table(state: dict) -> "HiddenTable":
+    """Unpickle target for by-value table snapshots (see ``__reduce__``)."""
+    table = HiddenTable.__new__(HiddenTable)
+    table.__setstate__(state)
+    return table
+
+
 class HiddenTable:
     """Materialised relation with categorical search columns and measures.
 
@@ -135,6 +142,9 @@ class HiddenTable:
         # Every table derived via with_backend() joins this (shared) family
         # list; apply_updates() on any member updates all of them.
         self._family: List[weakref.ref] = [weakref.ref(self)]
+        # Live shared-memory export (repro.hidden_db.sharing), set by
+        # export_table(); switches pickling over to zero-copy handles.
+        self._shared_export = None
 
     # -- basic geometry --------------------------------------------------
 
@@ -256,6 +266,7 @@ class HiddenTable:
             **options,
         )
         clone._family = self._family  # shared list: one family, many members
+        clone._shared_export = None  # exports are per-member (backend-specific)
         self._family.append(weakref.ref(clone))
         return clone
 
@@ -546,20 +557,42 @@ class HiddenTable:
 
     # -- pickling ---------------------------------------------------------
 
+    def __reduce__(self):
+        """Pickle as a shared-memory handle when an export is live.
+
+        With :func:`repro.hidden_db.sharing.export_table` called on this
+        table (the process engine does it before every wave), the payload
+        is a few hundred bytes naming the shared block — the receiving
+        process rebinds zero-copy views instead of copying the columns.
+        Falls back to the by-value snapshot whenever the export is stale
+        (table mutated since), closed, or owned by another process.
+        """
+        export = self._shared_export
+        if export is not None and export.matches(self):
+            from repro.hidden_db.sharing import attach_shared_table
+
+            return (attach_shared_table, (export.handle,))
+        return (_restore_table, (self.__getstate__(),))
+
     def __getstate__(self):
         """Pickle without the weakref family list (process pools).
 
         A pickled copy is a *detached snapshot*: on the other side it
         starts a family of its own, since mutations cannot propagate
-        across process boundaries anyway.
+        across process boundaries anyway.  The shared-memory export (and
+        an attached table's mapping) are process-local resources and stay
+        behind too.
         """
         state = self.__dict__.copy()
         del state["_family"]
+        state.pop("_shared_export", None)
+        state.pop("_shm_attachment", None)
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._family = [weakref.ref(self)]
+        self._shared_export = None
 
     # -- construction helpers ------------------------------------------
 

@@ -1,0 +1,169 @@
+"""Process-pool execution: determinism matrix, shared memory, diagnostics.
+
+``executor="process"`` must be a pure wall-clock knob: for a fixed seed
+the merged result is bit-identical at every worker count and under both
+pool flavours, because round RNG streams are derived up front and rounds
+merge in round order regardless of who computed them.  The process path
+additionally exports the hidden table into shared memory (workers attach
+zero-copy views) and must clean that export up on ``close()``; an
+unpicklable factory must fail fast with a message naming it.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import HDUnbiasedAgg, HDUnbiasedSize, ParallelSession
+from repro.datasets import yahoo_auto
+from repro.hidden_db import HiddenDBClient, TopKInterface
+
+MATRIX = [
+    (1, "thread"),
+    (2, "thread"),
+    (8, "thread"),
+    (1, "process"),
+    (2, "process"),
+    (8, "process"),
+]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return yahoo_auto(m=1_000, seed=5)
+
+
+def make_estimator(table, seed=7):
+    client = HiddenDBClient(TopKInterface(table, 50))
+    return HDUnbiasedSize(client, r=2, dub=16, seed=seed)
+
+
+def _facts(result):
+    return (
+        result.estimates,
+        result.total_cost,
+        result.mean,
+        result.ci95,
+        [r.cost for r in result.raw_rounds],
+    )
+
+
+class TestDeterminismMatrix:
+    def test_every_cell_matches_the_sequential_reference(self, table):
+        reference = None
+        for workers, executor in MATRIX:
+            estimator = make_estimator(table)
+            session = estimator.parallel_session(
+                workers, seed=99, executor=executor
+            )
+            result = session.run(rounds=10)
+            session.close()
+            facts = _facts(result)
+            if reference is None:
+                reference = facts
+            else:
+                assert facts == reference, (workers, executor)
+
+    def test_aggregate_estimator_is_executor_invariant(self, table):
+        results = []
+        for executor in ("thread", "process"):
+            client = HiddenDBClient(TopKInterface(table, 50))
+            estimator = HDUnbiasedAgg(
+                client, aggregate="sum", measure="PRICE", r=2, dub=16, seed=31
+            )
+            results.append(
+                estimator.run(rounds=8, workers=4, executor=executor)
+            )
+        assert results[0].estimates == results[1].estimates
+        assert results[0].total_cost == results[1].total_cost
+
+    def test_run_facade_accepts_executor(self, table):
+        thread = make_estimator(table).run(rounds=6, workers=2)
+        process = make_estimator(table).run(
+            rounds=6, workers=2, executor="process"
+        )
+        assert thread.estimates == process.estimates
+        assert thread.total_cost == process.total_cost
+
+
+class TestApiExecutorInvariance:
+    def test_front_door_reports_identical_across_executors(self):
+        from repro.api import (
+            DatasetSpec,
+            Estimation,
+            EstimationSpec,
+            RegimeSpec,
+            TargetSpec,
+        )
+
+        reports = {}
+        for executor in ("thread", "process"):
+            spec = EstimationSpec(
+                target=TargetSpec(
+                    dataset=DatasetSpec(name="iid", m=600, seed=3), k=24
+                ),
+                regime=RegimeSpec(
+                    rounds=8, seed=5, workers=4, executor=executor
+                ),
+            )
+            payload = Estimation(spec).run().to_dict()
+            # The spec echo names the executor by design; everything else
+            # (estimates, costs, CI, trajectory) must match byte for byte.
+            assert payload["spec"]["regime"].pop("executor") == executor
+            reports[executor] = payload
+        assert reports["thread"] == reports["process"]
+
+
+class TestSharedMemoryLifecycle:
+    def test_process_run_exports_and_close_releases(self, table):
+        estimator = make_estimator(table)
+        session = estimator.parallel_session(2, seed=5, executor="process")
+        session.run(rounds=4)
+        assert table._shared_export is not None
+        assert table._shared_export.matches(table)
+        session.close()
+        assert table._shared_export is None
+
+    def test_thread_run_never_exports(self, table):
+        estimator = make_estimator(table)
+        session = estimator.parallel_session(2, seed=5, executor="thread")
+        session.run(rounds=4)
+        session.close()
+        assert table._shared_export is None
+
+    def test_round_factory_pickles_small_with_live_export(self, table):
+        from repro.hidden_db.sharing import export_table
+
+        estimator = make_estimator(table)
+        session = estimator.parallel_session(2, seed=5, executor="process")
+        factory = session.factory
+        heavy = len(pickle.dumps(factory))
+        export = export_table(table)
+        try:
+            light = len(pickle.dumps(factory))
+            assert light < heavy / 3
+        finally:
+            export.close()
+            table._shared_export = None
+
+
+class TestPicklingDiagnostics:
+    def test_lambda_factory_raises_a_named_error(self, table):
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed),
+            workers=2,
+            seed=1,
+            executor="process",
+        )
+        with pytest.raises(TypeError, match="picklable estimator factory"):
+            session.run(rounds=2)
+
+    def test_thread_pool_accepts_any_factory(self, table):
+        session = ParallelSession(
+            lambda seed: make_estimator(table, seed),
+            workers=2,
+            seed=1,
+            executor="thread",
+        )
+        result = session.run(rounds=4)
+        session.close()
+        assert len(result.estimates) == 4

@@ -84,6 +84,7 @@ def build_estimator(spec: EstimationSpec, table):
         batch_probes=(
             method.batch_probes if method.batch_probes is not None else True
         ),
+        cohort=method.cohort if method.cohort is not None else True,
         condition=aggregate.condition,
         seed=spec.regime.seed,
     )
@@ -190,7 +191,7 @@ def tracker_kwargs(spec: EstimationSpec) -> Tuple[dict, dict]:
     # The walk knobs default to track()'s plain single-drill-down walk;
     # forward them only when the spec sets them, so a knob-less spec
     # stays byte-identical to a legacy track() call.
-    for knob in ("r", "dub", "weight_adjustment", "batch_probes"):
+    for knob in ("r", "dub", "weight_adjustment", "batch_probes", "cohort"):
         value = getattr(method, knob)
         if value is not None:
             build_kwargs[knob] = value

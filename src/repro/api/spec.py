@@ -262,6 +262,11 @@ class MethodSpec:
     *batch_probes* toggles the walker's vectorised sibling-probe batching
     (``None`` = on); charges, cache state and estimates are identical
     either way, so it is a wall-clock knob like ``regime.executor``.
+    *cohort* toggles level-synchronous cohort execution — each worker
+    steps its whole batch of rounds in lockstep and answers the probes of
+    one wave through the backend's bulk path (``None`` = on); like
+    *batch_probes* it changes wall-clock only, never charges or
+    estimates.
     *policy*
     names the tracking policy (``reissue`` / ``restart``) or the
     federated allocation policy (``uniform`` / ``cost_weighted`` /
@@ -272,6 +277,7 @@ class MethodSpec:
     dub: Optional[int] = None
     weight_adjustment: Optional[bool] = None
     batch_probes: Optional[bool] = None
+    cohort: Optional[bool] = None
     policy: Optional[str] = None
     pilot_rounds: Optional[int] = None
     reissue_per_epoch: Optional[int] = None
@@ -356,8 +362,9 @@ class EstimationSpec:
                 method.r is None
                 and method.dub is None
                 and method.weight_adjustment is None
-                and method.batch_probes is None,
-                "r/dub/weight_adjustment/batch_probes are per-source "
+                and method.batch_probes is None
+                and method.cohort is None,
+                "r/dub/weight_adjustment/batch_probes/cohort are per-source "
                 "properties of a federation (each FederatedSource carries "
                 "its own); they cannot be set on a federated spec",
             )

@@ -59,6 +59,12 @@ class HiddenDBSampler:
         Drill order; decreasing fanout by default.
     max_restarts:
         Safety valve for one :meth:`sample` call.
+    batch_probes:
+        Submit each walk's path queries through
+        :meth:`HiddenDBClient.query_many` (one bulk backend
+        classification, charges replayed exactly) instead of one
+        :meth:`~HiddenDBClient.query` per level.  A wall-clock knob:
+        samples, costs and counters are bit-identical either way.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class HiddenDBSampler:
         attribute_order: Optional[Sequence[int]] = None,
         seed: RandomSource = None,
         max_restarts: int = 100_000,
+        batch_probes: bool = True,
     ) -> None:
         self.client = client
         self.rng = spawn_rng(seed)
@@ -79,6 +86,7 @@ class HiddenDBSampler:
         self.fixed_scale = scale
         self._adaptive_scale: Optional[float] = None
         self.max_restarts = max_restarts
+        self.batch_probes = bool(batch_probes)
         self.walks = 0
         self.restarts = 0
         self.rejections = 0
@@ -87,30 +95,57 @@ class HiddenDBSampler:
 
     def _walk_once(self) -> Optional[Tuple[Tuple[int, ...], int, float]]:
         """One drill down; returns (tuple values, depth, inverse prob) or
-        None on early termination (underflow hit)."""
+        None on early termination (underflow hit).
+
+        The path's random values are drawn up front: the draws never
+        depend on the probe answers (the walk has no backtracking — an
+        underflow restarts it), so pre-drawing leaves the sample
+        distribution unchanged while turning the whole path into one
+        probe batch.  Only the prefix up to the first non-overflow answer
+        is charged (``query_many``'s *until* contract), exactly like the
+        level-at-a-time loop.
+        """
         schema = self.client.schema
-        query = ConjunctiveQuery()
-        inverse_probability = 1.0
         self.walks += 1
-        root = self.client.query(query)
+        root = self.client.query(ConjunctiveQuery())
         if root.underflow:
             return None
         if root.valid:
             # Whole database fits one page; sample uniformly from it.
             chosen = root.tuples[int(self.rng.integers(root.num_returned))]
             return chosen.values, 0, float(root.num_returned)
-        for depth, attr in enumerate(self.attribute_order, start=1):
+        path: List[ConjunctiveQuery] = []
+        fanouts: List[int] = []
+        query = ConjunctiveQuery()
+        for attr in self.attribute_order:
             fanout = schema[attr].domain_size
-            value = int(self.rng.integers(fanout))
-            inverse_probability *= fanout
-            result = self.client.query(query.extended(attr, value))
+            query = query.extended(attr, int(self.rng.integers(fanout)))
+            path.append(query)
+            fanouts.append(fanout)
+        if self.batch_probes:
+            results = self.client.query_many(
+                path, count_only=False, until=lambda r: not r.overflow
+            )
+        else:
+            results = []
+            for q in path:
+                result = self.client.query(q)
+                results.append(result)
+                if not result.overflow:
+                    break
+        inverse_probability = 1.0
+        for depth, result in enumerate(results, start=1):
+            inverse_probability *= fanouts[depth - 1]
             if result.underflow:
                 self.restarts += 1
                 return None
-            query = query.extended(attr, value)
             if result.valid:
                 chosen = result.tuples[int(self.rng.integers(result.num_returned))]
-                return chosen.values, depth, inverse_probability * result.num_returned
+                return (
+                    chosen.values,
+                    depth,
+                    inverse_probability * result.num_returned,
+                )
         raise RuntimeError(
             "fully-specified query overflowed; table has duplicate tuples"
         )

@@ -120,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker pool kind at workers > 1 (process = "
                           "shared-memory subprocesses; results are "
                           "executor-independent)")
+    est.add_argument("--no-cohort", action="store_true",
+                     help="disable level-synchronous cohort execution and "
+                          "run each round's walk to completion serially "
+                          "(wall-clock knob; results are bit-identical)")
     est.add_argument("--json", action="store_true",
                      help="emit the full AggregateReport as JSON")
 
@@ -197,6 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
                      default="thread",
                      help="worker pool kind (results are executor-"
                           "independent)")
+    trk.add_argument("--no-cohort", action="store_true",
+                     help="disable level-synchronous cohort execution "
+                          "(wall-clock knob; results are bit-identical)")
     trk.add_argument("--json", action="store_true", help="emit JSON")
 
     serve = sub.add_parser(
@@ -276,7 +283,12 @@ def _estimate_spec(args) -> EstimationSpec:
             workers=args.workers,
             executor=args.executor,
         ),
-        method=MethodSpec(r=args.r, dub=args.dub),
+        method=MethodSpec(
+            r=args.r,
+            dub=args.dub,
+            # None keeps the spec knob-less (library default: cohort on).
+            cohort=False if args.no_cohort else None,
+        ),
     )
 
 
@@ -322,6 +334,8 @@ def _track_spec(args) -> EstimationSpec:
             policy=args.policy,
             reissue_per_epoch=args.reissue,  # None = library default
             epoch_query_budget=args.epoch_budget,
+            # None keeps the spec knob-less (library default: cohort on).
+            cohort=False if args.no_cohort else None,
         ),
     )
 
@@ -679,24 +693,32 @@ def _cmd_tune(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point (``hiddendb-repro`` console script)."""
+    """Entry point (``hiddendb-repro`` console script).
+
+    ``REPRO_PROFILE=1`` wraps the dispatched subcommand in cProfile and
+    prints the hottest functions to stderr on exit (stdout payloads such
+    as ``--json`` reports stay clean).
+    """
+    from repro.utils.profiling import maybe_profile
+
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "estimate":
-        return _cmd_estimate(args)
-    if args.command == "federate":
-        return _cmd_federate(args)
-    if args.command == "track":
-        return _cmd_track(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "run-spec":
-        return _cmd_run_spec(args)
-    if args.command == "tune":
-        return _cmd_tune(args)
+    with maybe_profile(f"cli:{args.command}"):
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "estimate":
+            return _cmd_estimate(args)
+        if args.command == "federate":
+            return _cmd_federate(args)
+        if args.command == "track":
+            return _cmd_track(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "run-spec":
+            return _cmd_run_spec(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
     raise AssertionError("unreachable")
 
 

@@ -8,8 +8,17 @@
 """
 
 from repro.core.budget import BudgetExhausted, BudgetLease, QueryBudget, as_budget
+from repro.core.cohort import CohortWalker, run_cohort
 from repro.core.divide_conquer import MassFunction, TreeEstimate, estimate_tree
-from repro.core.drilldown import Walker, WalkKind, WalkOutcome, WalkStep
+from repro.core.drilldown import (
+    Probe,
+    ProbeWindow,
+    Walker,
+    WalkKind,
+    WalkOutcome,
+    WalkStep,
+    drive_plan,
+)
 from repro.core.dynamic import (
     EpochEstimate,
     RestartEstimator,
@@ -57,6 +66,11 @@ __all__ = [
     "WalkKind",
     "WalkOutcome",
     "WalkStep",
+    "Probe",
+    "ProbeWindow",
+    "drive_plan",
+    "CohortWalker",
+    "run_cohort",
     "ParallelSession",
     "merge_rounds",
     "RSReissueEstimator",

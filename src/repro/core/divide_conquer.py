@@ -27,15 +27,15 @@ walks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Generator, List, Sequence
 
 import numpy as np
 
-from repro.core.drilldown import Walker, WalkKind
+from repro.core.drilldown import Walker, WalkKind, drive_plan
 from repro.hidden_db.interface import QueryResult
 from repro.hidden_db.query import ConjunctiveQuery
 
-__all__ = ["MassFunction", "TreeEstimate", "estimate_tree"]
+__all__ = ["MassFunction", "TreeEstimate", "estimate_tree", "estimate_tree_plan"]
 
 #: Maps a valid result page to the mass vector it contributes.
 MassFunction = Callable[[QueryResult], np.ndarray]
@@ -82,11 +82,30 @@ def estimate_tree(
         Which mass component feeds the weight-adjustment history (COUNT for
         size estimation, SUM for sum estimation).
     """
+    return drive_plan(
+        walker.client,
+        estimate_tree_plan(
+            walker, root, segments, r, mass_fn, dims, alignment_component
+        ),
+    )
+
+
+def estimate_tree_plan(
+    walker: Walker,
+    root: ConjunctiveQuery,
+    segments: Sequence[Sequence[int]],
+    r: int,
+    mass_fn: MassFunction,
+    dims: int,
+    alignment_component: int = 0,
+) -> Generator:
+    """Probe plan of :func:`estimate_tree`; returns the ``TreeEstimate``."""
     if r < 1:
         raise ValueError(f"r must be >= 1, got {r}")
     stats = TreeEstimate(values=np.zeros(dims))
+    scalar = dims == 1 and alignment_component == 0
 
-    def subtree(node: ConjunctiveQuery, layer: int) -> np.ndarray:
+    def subtree(node: ConjunctiveQuery, layer: int) -> Generator:
         if layer >= len(segments):
             raise RuntimeError(
                 "a fully-specified query overflowed: the table violates the "
@@ -95,9 +114,9 @@ def estimate_tree(
         stats.subtrees += 1
         stats.deepest_layer = max(stats.deepest_layer, layer)
         tv_total = np.zeros(dims)
-        bottom: Dict[frozenset, _BottomEntry] = {}
+        bottom = {}
         for _ in range(r):
-            walk = walker.drill_down(node, segments[layer])
+            walk = yield from walker.drill_down_plan(node, segments[layer])
             stats.walks += 1
             if walk.kind is WalkKind.TOP_VALID:
                 mass = np.asarray(mass_fn(walk.result), dtype=float)
@@ -111,7 +130,7 @@ def estimate_tree(
                 entry.step_lists.append(walk.steps)
         bo_total = np.zeros(dims)
         for entry in bottom.values():
-            sub_estimate = subtree(entry.query, layer + 1)
+            sub_estimate = yield from subtree(entry.query, layer + 1)
             bo_total += sub_estimate * entry.sum_inverse_p
             for steps in entry.step_lists:
                 walker.weights.record_walk(
@@ -119,7 +138,46 @@ def estimate_tree(
                 )
         return (tv_total + bo_total) / r
 
-    stats.values = subtree(root, 0)
+    def subtree_scalar(node: ConjunctiveQuery, layer: int) -> Generator:
+        # One-component fast path (size/sum estimation): the same
+        # accumulation in plain floats, passed between recursion levels
+        # without array wrapping — elementwise numpy ops on a length-1
+        # float64 array are the identical IEEE double ops, so the bits
+        # match the vector path above.
+        if layer >= len(segments):
+            raise RuntimeError(
+                "a fully-specified query overflowed: the table violates the "
+                "no-duplicate-tuples assumption"
+            )
+        stats.subtrees += 1
+        stats.deepest_layer = max(stats.deepest_layer, layer)
+        segment = segments[layer]
+        record_walk = walker.weights.record_walk
+        tv_scalar = 0.0
+        bottom: Dict[frozenset, _BottomEntry] = {}
+        for _ in range(r):
+            walk = yield from walker.drill_down_plan(node, segment)
+            stats.walks += 1
+            if walk.kind is WalkKind.TOP_VALID:
+                mass = float(mass_fn(walk.result)[0])
+                tv_scalar += mass / walk.probability
+                record_walk(walk.steps, mass)
+            else:
+                entry = bottom.setdefault(walk.query.key, _BottomEntry(walk.query))
+                entry.sum_inverse_p += 1.0 / walk.probability
+                entry.step_lists.append(walk.steps)
+        bo_scalar = 0.0
+        for entry in bottom.values():
+            sub_value = yield from subtree_scalar(entry.query, layer + 1)
+            bo_scalar += sub_value * entry.sum_inverse_p
+            for steps in entry.step_lists:
+                record_walk(steps, sub_value)
+        return (tv_scalar + bo_scalar) / r
+
+    if scalar:
+        stats.values = np.array(((yield from subtree_scalar(root, 0)),))
+    else:
+        stats.values = yield from subtree(root, 0)
     return stats
 
 

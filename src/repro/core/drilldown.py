@@ -31,13 +31,26 @@ The walker exploits the two paper-noted query savings:
 ``p(q)``, the product of landing probabilities, is *exactly* the
 probability that this walk reaches ``q`` — the Horvitz–Thompson weight that
 makes ``mass(q)/p(q)`` unbiased (Theorem 1).
+
+Probe plans
+-----------
+The walk logic is written once, as *probe-plan generators*: instead of
+calling the client directly, :meth:`Walker.drill_down_plan` yields
+:class:`Probe` / :class:`ProbeWindow` requests and receives the result
+pages back through ``send``.  :func:`drive_plan` is the sequential driver —
+it answers every request immediately through :meth:`HiddenDBClient.query` /
+:meth:`~HiddenDBClient.query_many`, so the driven walk is *by construction*
+bit-identical to the pre-plan inline code (same probes, same order, same
+charges, same cache state).  The cohort engine
+(:mod:`repro.core.cohort`) drives many rounds' plans level-synchronously
+instead, answering whole waves of requests with fused backend passes.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 import numpy as np
 
@@ -45,7 +58,75 @@ from repro.hidden_db.counters import HiddenDBClient
 from repro.hidden_db.interface import QueryResult
 from repro.hidden_db.query import ConjunctiveQuery
 
-__all__ = ["WalkStep", "WalkKind", "WalkOutcome", "Walker"]
+__all__ = [
+    "Probe",
+    "ProbeWindow",
+    "drive_plan",
+    "WalkStep",
+    "WalkKind",
+    "WalkOutcome",
+    "Walker",
+]
+
+
+class Probe:
+    """One probe request yielded by a plan; answered with a ``QueryResult``.
+
+    Semantically ``client.query(query, count_only=count_only)``.
+    """
+
+    __slots__ = ("query", "count_only")
+
+    def __init__(self, query: ConjunctiveQuery, count_only: bool = True) -> None:
+        self.query = query
+        self.count_only = count_only
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Probe({self.query!r}, count_only={self.count_only})"
+
+
+class ProbeWindow:
+    """A probe-batch request; answered with the consumed result prefix.
+
+    Semantically ``client.query_many(queries, count_only=count_only,
+    until=until)`` — the response list stops at the first result for which
+    *until* is true, exactly like the smart-backtracking early exit.
+    """
+
+    __slots__ = ("queries", "until", "count_only")
+
+    def __init__(self, queries, until=None, count_only: bool = True) -> None:
+        self.queries = queries
+        self.until = until
+        self.count_only = count_only
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProbeWindow({len(self.queries)} queries)"
+
+
+def drive_plan(client: HiddenDBClient, plan: Generator):
+    """Run a probe plan to completion against *client*; return its value.
+
+    The sequential execution mode: every yielded request is answered
+    immediately through the client, so charges, cache state and early
+    exits are exactly those of the equivalent inline query loop.
+    """
+    response = None
+    try:
+        while True:
+            request = plan.send(response)
+            if request.__class__ is ProbeWindow:
+                response = client.query_many(
+                    request.queries,
+                    count_only=request.count_only,
+                    until=request.until,
+                )
+            else:
+                response = client.query(
+                    request.query, count_only=request.count_only
+                )
+    except StopIteration as stop:
+        return stop.value
 
 
 class WalkKind(enum.Enum):
@@ -55,9 +136,13 @@ class WalkKind(enum.Enum):
     BOTTOM_OVERFLOW = "bottom_overflow"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class WalkStep:
-    """One level of a drill down: the choice made and its probability."""
+    """One level of a drill down: the choice made and its probability.
+
+    A plain (non-frozen) slotted dataclass: tens of thousands are built per
+    session and the frozen ``object.__setattr__`` init costs real time.
+    """
 
     node_key: frozenset  # canonical key of the node where the choice happened
     attr: int
@@ -66,7 +151,7 @@ class WalkStep:
     probability: float  # exact landing probability of this branch
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkOutcome:
     """Terminal state of one drill down."""
 
@@ -82,7 +167,7 @@ class WalkOutcome:
         return len(self.steps)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Landing:
     value: int
     query: ConjunctiveQuery
@@ -118,8 +203,20 @@ class Walker:
         self.weights = weights
         self.rng = rng
         self.schema = client.schema
+        # WeightStore hands small-fanout distributions out as plain lists
+        # (same entries, no array round-trip); other policies fall back to
+        # the array-returning method.
+        self._pick_weights = getattr(
+            weights, "branch_pick_weights", weights.branch_distribution
+        )
         self.batch_probes = bool(batch_probes)
         self.walks_performed = 0
+        #: Optional ``(parent key, attr, value) -> query`` table, installed
+        #: by a cohort so walks share child-query construction.  Queries are
+        #: immutable value objects, so a shared instance is pure compute
+        #: sharing — no observable state crosses rounds (see
+        #: :mod:`repro.core.cohort`).
+        self.interner: Optional[dict] = None
 
     # -- public API ------------------------------------------------------
 
@@ -133,6 +230,14 @@ class Walker:
         *root* must be overflowing (the caller has observed its page or, in
         recursion, inherited the knowledge from a bottom-overflow landing).
         """
+        return drive_plan(self.client, self.drill_down_plan(root, attributes))
+
+    def drill_down_plan(
+        self,
+        root: ConjunctiveQuery,
+        attributes: Sequence[int],
+    ) -> Generator:
+        """Probe plan of one drill down; returns the :class:`WalkOutcome`."""
         if not attributes:
             raise ValueError("drill_down needs at least one attribute level")
         self.walks_performed += 1
@@ -141,7 +246,7 @@ class Walker:
         steps: List[WalkStep] = []
         landing: Optional[_Landing] = None
         for attr in attributes:
-            landing = self._choose_branch(node, attr)
+            landing = yield from self._choose_branch_plan(node, attr)
             probability *= landing.probability
             steps.append(
                 WalkStep(
@@ -163,25 +268,64 @@ class Walker:
 
     # -- one level --------------------------------------------------------
 
-    def _choose_branch(self, node: ConjunctiveQuery, attr: int) -> _Landing:
+    def _child(
+        self, node: ConjunctiveQuery, attr: int, value: int
+    ) -> ConjunctiveQuery:
+        """``node.extended(attr, value)``, interned when a cohort shares it."""
+        interner = self.interner
+        if interner is None:
+            return node.extended(attr, value)
+        key = (node._key, attr, value)
+        query = interner.get(key)
+        if query is None:
+            query = node.extended(attr, value)
+            interner[key] = query
+        return query
+
+    def _choose_branch_plan(
+        self, node: ConjunctiveQuery, attr: int
+    ) -> Generator:
         """Pick, smart-backtrack and price one level below *node*.
 
         *node* is known to overflow, so at least one branch is non-empty.
         """
         fanout = self.schema[attr].domain_size
-        dist = np.asarray(self.weights.branch_distribution(node.key, attr, fanout))
+        # A plain list for small fanouts under a WeightStore, a numpy array
+        # otherwise — every use below (scalar indexing, iteration) treats
+        # the two identically.
+        dist = self._pick_weights(node.key, attr, fanout)
         if self.batch_probes:
             # Inverse-CDF sampling: the exact arithmetic Generator.choice
             # performs for a weighted scalar draw (same cdf, same single
             # uniform, same searchsorted side), so the picked branch and
             # the RNG stream advance bit-identically — without choice()'s
             # validation and shuffle machinery.
-            cdf = dist.cumsum()
-            cdf /= cdf[-1]
-            start = int(cdf.searchsorted(self.rng.random(), side="right"))
+            if fanout <= 32:
+                # Scalar mirror of the cdf arithmetic: cumsum is sequential
+                # by definition, each cdf entry is the same division, and
+                # searchsorted(u, side="right") is the first index whose
+                # normalised prefix exceeds u — same bits, no arrays.
+                u = self.rng.random()
+                values = dist if type(dist) is list else dist.tolist()
+                total = 0.0
+                for v in values:
+                    total += v
+                prefix = 0.0
+                start = fanout - 1
+                for i, v in enumerate(values):
+                    prefix += v
+                    if prefix / total > u:
+                        start = i
+                        break
+            else:
+                cdf = dist.cumsum()
+                cdf /= cdf[-1]
+                start = int(cdf.searchsorted(self.rng.random(), side="right"))
             if fanout > 2:
-                return self._choose_branch_batched(
-                    node, attr, fanout, dist, start
+                return (
+                    yield from self._choose_branch_batched_plan(
+                        node, attr, fanout, dist, start
+                    )
                 )
         else:
             start = int(self.rng.choice(fanout, p=dist))
@@ -192,7 +336,7 @@ class Walker:
         result: Optional[QueryResult] = None
         backtracked = False
         for _ in range(fanout):
-            query = node.extended(attr, value)
+            query = self._child(node, attr, value)
             if fanout == 2 and backtracked:
                 # Boolean shortcut: the sibling of an underflowing child of
                 # an overflowing parent must overflow — follow it unissued.
@@ -205,7 +349,7 @@ class Walker:
                 )
             # count_only: probes only classify the page; a landed page's
             # tuples stay lazy and materialise if a mass function reads them.
-            result = self.client.query(query, count_only=True)
+            result = yield Probe(query)
             if not result.underflow:
                 break
             self.weights.mark_empty(node.key, attr, fanout, value)
@@ -231,7 +375,7 @@ class Walker:
         probability = float(dist[value])
         pred = (value - 1) % fanout
         while pred != value:
-            pred_result = self.client.query(node.extended(attr, pred), count_only=True)
+            pred_result = yield Probe(self._child(node, attr, pred))
             if not pred_result.underflow:
                 break
             self.weights.mark_empty(node.key, attr, fanout, pred)
@@ -243,39 +387,37 @@ class Walker:
             probability = 1.0
         return _Landing(value, landed_query, result, probability, valid)
 
-    def _choose_branch_batched(
+    def _choose_branch_batched_plan(
         self,
         node: ConjunctiveQuery,
         attr: int,
         fanout: int,
-        dist: np.ndarray,
+        dist,  # list (small fanouts) or ndarray — scalar reads only
         start: int,
-    ) -> _Landing:
+    ) -> Generator:
         """The fanout>2 level with sibling probes issued as batches.
 
         Equivalent to the scalar path probe for probe: the right-walk and
-        the left-walk each become one :meth:`HiddenDBClient.query_many`
-        call whose ``until`` predicate reproduces the walk's early exit, so
-        the consumed probes — and therefore every charge and cache entry —
-        are exactly those the sequential walk would have issued, in the
-        same order.  The backend, however, classifies each window in one
+        the left-walk each become one :class:`ProbeWindow` request whose
+        ``until`` predicate reproduces the walk's early exit, so the
+        consumed probes — and therefore every charge and cache entry — are
+        exactly those the sequential walk would have issued, in the same
+        order.  The backend, however, classifies each window in one
         vectorised pass instead of one narrowing per probe.
         """
-        client = self.client
         weights = self.weights
         # Right walk: probe the initial pick; on underflow, batch the rest
         # of the circular window until the first non-underflowing sibling.
         value = start
-        query = node.extended(attr, value)
-        result = client.query(query, count_only=True)
+        query = self._child(node, attr, value)
+        result = yield Probe(query)
         backtracked = False
         if result.underflow:
             backtracked = True
             window = [(start + i) % fanout for i in range(1, fanout)]
-            siblings = [node.extended(attr, v) for v in window]
-            batch = client.query_many(
-                siblings, count_only=True, until=_landed_somewhere
-            )
+            child = self._child
+            siblings = [child(node, attr, v) for v in window]
+            batch = yield ProbeWindow(siblings, until=_landed_somewhere)
             weights.mark_empty(node.key, attr, fanout, start)
             for v, sibling_result in zip(window, batch):
                 if sibling_result.underflow:
@@ -298,15 +440,14 @@ class Walker:
         # starts is the rest of the circle batched.
         probability = float(dist[value])
         first = (value - 1) % fanout
-        pred_result = client.query(node.extended(attr, first), count_only=True)
+        pred_result = yield Probe(self._child(node, attr, first))
         if pred_result.underflow:
             weights.mark_empty(node.key, attr, fanout, first)
             probability += float(dist[first])
             rest = [(value - 2 - i) % fanout for i in range(fanout - 2)]
-            candidates = [node.extended(attr, p) for p in rest]
-            batch = client.query_many(
-                candidates, count_only=True, until=_landed_somewhere
-            )
+            child = self._child
+            candidates = [child(node, attr, p) for p in rest]
+            batch = yield ProbeWindow(candidates, until=_landed_somewhere)
             for p, rest_result in zip(rest, batch):
                 if rest_result.underflow:
                     weights.mark_empty(node.key, attr, fanout, p)

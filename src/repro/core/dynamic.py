@@ -151,6 +151,8 @@ class _EpochEstimatorBase:
         r: int = 1,
         dub: Optional[int] = None,
         weight_adjustment: bool = False,
+        batch_probes: bool = True,
+        cohort: bool = True,
         seed: RandomSource = None,
         workers: int = 1,
         executor: str = "thread",
@@ -175,12 +177,14 @@ class _EpochEstimatorBase:
         if aggregate == "count":
             self._template = HDUnbiasedSize(
                 client, r=r, dub=dub, weight_adjustment=weight_adjustment,
+                batch_probes=batch_probes, cohort=cohort,
                 condition=condition, seed=0,
             )
         else:
             self._template = HDUnbiasedAgg(
                 client, aggregate="sum", measure=measure,
                 r=r, dub=dub, weight_adjustment=weight_adjustment,
+                batch_probes=batch_probes, cohort=cohort,
                 condition=condition, seed=0,
             )
         self.history: List[EpochEstimate] = []
@@ -196,6 +200,7 @@ class _EpochEstimatorBase:
                 factory=_RoundFactory(self._template),
                 workers=self.workers,
                 executor=self.executor,
+                cohort=self._template.cohort,
             )
             self._engine_session = session
         return session

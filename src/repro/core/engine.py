@@ -56,6 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.budget import QueryBudget, as_budget
+from repro.core.cohort import run_cohort
 from repro.utils.rng import RandomSource, spawn_rng
 from repro.utils.stats import RunningStats, StreamingMeanSeries
 
@@ -173,6 +174,12 @@ class ParallelSession:
     seed: RandomSource = None
     executor: str = "thread"
     statistic: Optional[Callable[[np.ndarray], float]] = None
+    #: Run each worker's slice of a wave as one level-synchronous cohort
+    #: (:mod:`repro.core.cohort`): probes are fused across the slice's
+    #: rounds and identical probes are computed once, while every round's
+    #: charges/cache/RNG stay exactly those of the per-round path — the
+    #: merged result is bit-identical either way, only faster.
+    cohort: bool = True
     #: Component-wise sum of every round-client's ``report()`` (merged
     #: query-cost and cache accounting across workers).
     client_stats: Dict[str, float] = field(default_factory=dict)
@@ -262,35 +269,30 @@ class ParallelSession:
         """
         if not seeds:
             return []
+        # Each worker's contiguous slice runs as one level-synchronous
+        # cohort (probes fused across its rounds) or, with the knob off,
+        # as the literal per-round loop; both preserve seed order.
+        batch = run_cohort if self.cohort else _run_round_batch
         outcomes: List[Optional[Tuple]] = [None] * len(seeds)
         if self.workers == 1:
-            for i, seed in enumerate(seeds):
-                outcomes[i] = _run_round(self.factory, seed)
-        elif self.executor == "process":
-            # Shared-memory transport: export the table columns once (a
-            # per-version no-op on later waves), then ship each worker its
-            # contiguous slice of the wave as ONE task — the payload is a
-            # handle plus seeds, not the table.  Slices preserve seed
-            # order, so reassembly is a flat copy.
-            prepare = getattr(self.factory, "prepare_shared_memory", None)
-            if prepare is not None:
-                prepare()
+            outcomes = batch(self.factory, seeds)
+        else:
+            if self.executor == "process":
+                # Shared-memory transport: export the table columns once (a
+                # per-version no-op on later waves), then ship each worker
+                # its contiguous slice of the wave as ONE task — the payload
+                # is a handle plus seeds, not the table.
+                prepare = getattr(self.factory, "prepare_shared_memory", None)
+                if prepare is not None:
+                    prepare()
             pool = self._get_pool()
             futures = {
-                pool.submit(_run_round_batch, self.factory, chunk): start
+                pool.submit(batch, self.factory, chunk): start
                 for start, chunk in _contiguous_chunks(seeds, self.workers)
             }
             for future, start in futures.items():
                 for j, outcome in enumerate(future.result()):
                     outcomes[start + j] = outcome
-        else:
-            pool = self._get_pool()
-            futures = {
-                pool.submit(_run_round, self.factory, seed): i
-                for i, seed in enumerate(seeds)
-            }
-            for future, i in futures.items():
-                outcomes[i] = future.result()
         return outcomes
 
     def run(self, rounds: int) -> "object":

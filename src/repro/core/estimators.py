@@ -22,13 +22,13 @@ Quick start::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Generator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.budget import QueryBudget, as_budget
-from repro.core.divide_conquer import TreeEstimate, estimate_tree
-from repro.core.drilldown import Walker
+from repro.core.divide_conquer import TreeEstimate, estimate_tree_plan
+from repro.core.drilldown import Probe, Walker, drive_plan
 from repro.core.partition import free_attribute_order, segment_attributes
 from repro.core.weights import UniformWeights, WeightStore
 from repro.hidden_db.counters import HiddenDBClient
@@ -196,6 +196,7 @@ class _DrillDownEstimator:
         seed: RandomSource = None,
         smoothing: float = 0.25,
         batch_probes: bool = True,
+        cohort: bool = True,
     ) -> None:
         if r < 1:
             raise ValueError(f"r must be >= 1, got {r}")
@@ -204,6 +205,7 @@ class _DrillDownEstimator:
         self.dub = dub
         self.weight_adjustment = bool(weight_adjustment)
         self.batch_probes = bool(batch_probes)
+        self.cohort = bool(cohort)
         self.condition = resolve_condition(client.schema, condition)
         self.root = self.condition if self.condition is not None else ConjunctiveQuery()
         order = free_attribute_order(client.schema, self.condition, attribute_order)
@@ -226,6 +228,7 @@ class _DrillDownEstimator:
             attribute_order=tuple(self.attribute_order),
             smoothing=smoothing,
             batch_probes=self.batch_probes,
+            cohort=self.cohort,
         )
 
     # -- to be provided by subclasses ------------------------------------
@@ -325,25 +328,35 @@ class _DrillDownEstimator:
             seed=seed,
             executor=executor,
             statistic=self._statistic,
+            cohort=self.cohort,
         )
 
     # -- running ----------------------------------------------------------
 
     def run_once(self) -> RoundEstimate:
         """One full pass -> one unbiased estimate of the mass vector."""
+        return drive_plan(self.client, self.run_once_plan())
+
+    def run_once_plan(self) -> Generator:
+        """Probe plan of one full pass; returns the :class:`RoundEstimate`.
+
+        The sequential :meth:`run_once` drives this plan against the
+        client directly; the cohort engine (:mod:`repro.core.cohort`)
+        interleaves many rounds' plans level-synchronously instead.
+        """
         cost_before = self.client.cost
         walks_before = self.walker.walks_performed
         # count_only: the root page's classification decides everything the
         # estimators need here; its tuples stay lazy and materialise only
         # if a mass function reads them (exact-valid roots under AGG).
-        root_page = self.client.query(self.root, count_only=True)
+        root_page = yield Probe(self.root)
         if root_page.underflow:
             values = np.zeros(self._dims)
         elif root_page.valid:
             # The whole (sub-)database fits on one page: the estimate is exact.
             values = np.asarray(self._mass(root_page), dtype=float)
         else:
-            tree: TreeEstimate = estimate_tree(
+            tree: TreeEstimate = yield from estimate_tree_plan(
                 self.walker,
                 self.root,
                 self.segments,
@@ -585,6 +598,7 @@ class BoolUnbiasedSize(HDUnbiasedSize):
         attribute_order: Optional[Sequence[int]] = None,
         seed: RandomSource = None,
         batch_probes: bool = True,
+        cohort: bool = True,
     ) -> None:
         super().__init__(
             client,
@@ -595,6 +609,7 @@ class BoolUnbiasedSize(HDUnbiasedSize):
             attribute_order=attribute_order,
             seed=seed,
             batch_probes=batch_probes,
+            cohort=cohort,
         )
 
     def _spawn(self, client: HiddenDBClient, seed: RandomSource) -> "BoolUnbiasedSize":
@@ -604,6 +619,7 @@ class BoolUnbiasedSize(HDUnbiasedSize):
             attribute_order=self._session_config["attribute_order"],
             seed=seed,
             batch_probes=self.batch_probes,
+            cohort=self.cohort,
         )
 
 

@@ -26,7 +26,7 @@ the *variance* under control when pilot history is thin or misleading:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -54,31 +54,83 @@ def _uniform(fanout: int) -> np.ndarray:
     return dist
 
 
+_UNIFORM_VALUES_CACHE: Dict[int, list] = {}
+
+
+def _uniform_values(fanout: int) -> list:
+    """List form of :func:`_uniform` (shared; callers must not mutate)."""
+    values = _UNIFORM_VALUES_CACHE.get(fanout)
+    if values is None:
+        values = _uniform(fanout).tolist()
+        _UNIFORM_VALUES_CACHE[fanout] = values
+    return values
+
+
 @dataclass
 class BranchRecord:
-    """Pilot statistics for the branches of one (node, attribute) pair."""
+    """Pilot statistics for the branches of one (node, attribute) pair.
+
+    Small-fanout records (the overwhelming majority — every pick
+    distribution of at most :data:`_SCALAR_FANOUT_MAX` branches) default
+    to plain Python lists: the per-walk scalar updates (``mark_empty``,
+    ``add_mass``) and the scalar distribution recompute then skip numpy's
+    per-element dispatch entirely.  A float64 ``+=`` is the same IEEE
+    double add either way, so the statistics are bit-identical to the
+    array representation.  Larger fanouts (and callers passing explicit
+    arrays) keep numpy storage for the vectorised pipeline.
+    """
 
     fanout: int
-    known_empty: np.ndarray = field(default=None)  # bool per value
-    mass_sum: np.ndarray = field(default=None)  # Σ X / p(X | branch)
-    visits: np.ndarray = field(default=None)  # historic walks through branch
+    known_empty: object = None  # bool per value (list or ndarray)
+    mass_sum: object = None  # Σ X / p(X | branch)
+    visits: object = None  # historic walks through branch
 
     def __post_init__(self) -> None:
+        scalar = self.fanout <= _SCALAR_FANOUT_MAX
         if self.known_empty is None:
-            self.known_empty = np.zeros(self.fanout, dtype=bool)
+            self.known_empty = (
+                [False] * self.fanout
+                if scalar
+                else np.zeros(self.fanout, dtype=bool)
+            )
         if self.mass_sum is None:
-            self.mass_sum = np.zeros(self.fanout, dtype=float)
+            self.mass_sum = (
+                [0.0] * self.fanout
+                if scalar
+                else np.zeros(self.fanout, dtype=float)
+            )
         if self.visits is None:
-            self.visits = np.zeros(self.fanout, dtype=np.int64)
-        # Memoised pick distribution; dropped on every statistics update.
+            self.visits = (
+                [0] * self.fanout
+                if scalar
+                else np.zeros(self.fanout, dtype=np.int64)
+            )
+        # Memoised pick distribution (array and scalar-list forms);
+        # dropped on every statistics update.
         self._dist: Optional[np.ndarray] = None
+        self._dist_values: Optional[list] = None
 
     def estimated_masses(self) -> np.ndarray:
-        """Per-branch subtree-mass estimates (Eq. 6); nan where unvisited."""
-        with np.errstate(invalid="ignore", divide="ignore"):
-            est = self.mass_sum / self.visits
-        est[self.visits == 0] = np.nan
-        return est
+        """Per-branch subtree-mass estimates (Eq. 6); nan where unvisited.
+
+        The masked divide only touches visited entries, so no errstate
+        context (a surprisingly costly construct on this hot path) is
+        needed; unvisited entries keep the prefilled nan.
+        """
+        visits = self.visits
+        if isinstance(visits, list):
+            return np.array(
+                [
+                    self.mass_sum[i] / v if (v := visits[i]) > 0 else np.nan
+                    for i in range(self.fanout)
+                ]
+            )
+        return np.divide(
+            self.mass_sum,
+            visits,
+            out=np.full(self.fanout, np.nan),
+            where=visits > 0,
+        )
 
 
 class WeightStore:
@@ -113,6 +165,7 @@ class WeightStore:
         if not rec.known_empty[value]:
             rec.known_empty[value] = True
             rec._dist = None
+            rec._dist_values = None
 
     def add_mass(
         self, node_key: frozenset, attr: int, fanout: int, value: int, mass: float
@@ -122,6 +175,7 @@ class WeightStore:
         rec.mass_sum[value] += mass
         rec.visits[value] += 1
         rec._dist = None
+        rec._dist_values = None
 
     def record_walk(self, steps, terminal_mass: float) -> None:
         """Credit an entire walk's path with its terminal mass.
@@ -151,7 +205,7 @@ class WeightStore:
         rec = self._records.get((node_key, attr))
         if rec is None:
             return np.zeros(fanout, dtype=bool)
-        return rec.known_empty.copy()
+        return np.array(rec.known_empty, dtype=bool)
 
     def branch_distribution(
         self, node_key: frozenset, attr: int, fanout: int
@@ -172,22 +226,39 @@ class WeightStore:
             # Pure function of the record's statistics, which are unchanged
             # since the memo was stored — same bits as recomputing.
             return rec._dist
-        candidates = ~rec.known_empty
-        n_candidates = int(candidates.sum())
+        if fanout <= _SCALAR_FANOUT_MAX:
+            values = self._scalar_values(rec, fanout)
+            if values is None:
+                return _uniform(fanout)
+            dist = np.array(values)
+            dist.flags.writeable = False
+            rec._dist = dist
+            return dist
+        known_empty = rec.known_empty
+        candidates = ~known_empty
+        n_candidates = fanout - int(np.count_nonzero(known_empty))
         if n_candidates == 0:
             # Inconsistent history (every branch marked empty under an
             # overflowing node) cannot happen via the walker; fall back to
             # uniform so callers never divide by zero.
             return _uniform(fanout)
-        est = rec.estimated_masses()
-        explored = candidates & (rec.visits > 0)
-        # est is nan exactly where unvisited; np.maximum propagates the
-        # nans, but the selects below only ever read floored[explored],
-        # which is nan-free — this is the per-value loop, vectorised.
-        with np.errstate(invalid="ignore"):
-            floored = np.maximum(est, self.mass_floor)
-        if explored.any():
-            default = float(floored[explored].mean())
+        visits = rec.visits
+        visited = visits > 0
+        # Inline of estimated_masses(), sharing the ``visited`` mask.
+        est = np.divide(
+            rec.mass_sum, visits, out=np.full(fanout, np.nan), where=visited
+        )
+        explored = candidates & visited
+        # est is nan exactly where unvisited; np.maximum quietly propagates
+        # the nans (no FP flag), and the selects below only ever read
+        # floored[explored], which is nan-free — this is the per-value
+        # loop, vectorised.
+        floored = np.maximum(est, self.mass_floor)
+        n_explored = int(np.count_nonzero(explored))
+        if n_explored:
+            # add.reduce/n is np.mean's exact arithmetic (umr_sum then one
+            # scalar division) without its wrapper overhead.
+            default = float(np.add.reduce(floored[explored]) / n_explored)
         else:
             default = self.mass_floor
         weights = np.where(
@@ -201,8 +272,139 @@ class WeightStore:
         rec._dist = dist
         return dist
 
+    def branch_pick_weights(self, node_key: frozenset, attr: int, fanout: int):
+        """:meth:`branch_distribution`, small fanouts as plain lists.
+
+        The walker's pick loop is scalar for small fanouts, so handing it
+        the memoised value *list* (the exact entries the array form is
+        built from — see :func:`_scalar_distribution`) skips an array
+        wrap/unwrap round-trip per node visit.  Larger fanouts return the
+        frozen array as usual.  Returned lists are shared and must not be
+        mutated (the array form is frozen for the same reason).
+        """
+        if fanout > _SCALAR_FANOUT_MAX:
+            return self.branch_distribution(node_key, attr, fanout)
+        rec = self._records.get((node_key, attr))
+        if rec is None:
+            return _uniform_values(fanout)
+        values = self._scalar_values(rec, fanout)
+        if values is None:
+            return _uniform_values(fanout)
+        return values
+
+    def _scalar_values(self, rec: BranchRecord, fanout: int) -> Optional[list]:
+        """Memoised scalar-form distribution of a small-fanout record.
+
+        Scalar mirror of the vectorised pipeline: every numpy elementwise
+        op on a small float64 array is the same IEEE double op performed
+        per entry, and ``_mirror_sum`` reproduces umr_sum's accumulation
+        order exactly (sequential below 8, 8-accumulator pairwise blocks
+        above) — so the entries are bit-identical to the array pipeline,
+        without ~15 small-array dispatches per recompute.  ``test_weights``
+        locks the equivalence.
+        """
+        values = rec._dist_values
+        if values is None:
+            values = _scalar_distribution(
+                rec, self.smoothing, self.mass_floor, fanout
+            )
+            rec._dist_values = values
+        return values
+
     def __len__(self) -> int:
         return len(self._records)
+
+
+#: Largest fanout handled by the scalar branch-distribution mirror.  The
+#: bound keeps the mirrored pairwise sum within the regime the equivalence
+#: test exercises (and Python loops competitive with numpy dispatch).
+_SCALAR_FANOUT_MAX = 32
+
+
+def _mirror_sum(values) -> float:
+    """``np.sum`` of a small float64 vector, in scalar arithmetic.
+
+    Mirrors umr_sum's pairwise accumulation exactly: plain left-to-right
+    below 8 elements, otherwise 8 interleaved accumulators over full
+    blocks, combined as ``((r0+r1)+(r2+r3)) + ((r4+r5)+(r6+r7))``, with
+    the remainder folded in sequentially.  Bit-equivalence against numpy
+    is locked by a test; the mirror is only used for vectors of at most
+    :data:`_SCALAR_FANOUT_MAX` entries.
+    """
+    n = len(values)
+    if n < 8:
+        total = 0.0
+        for value in values:
+            total += value
+        return total
+    r0, r1, r2, r3, r4, r5, r6, r7 = values[:8]
+    i = 8
+    while i + 8 <= n:
+        r0 += values[i]
+        r1 += values[i + 1]
+        r2 += values[i + 2]
+        r3 += values[i + 3]
+        r4 += values[i + 4]
+        r5 += values[i + 5]
+        r6 += values[i + 6]
+        r7 += values[i + 7]
+        i += 8
+    total = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    while i < n:
+        total += values[i]
+        i += 1
+    return total
+
+
+def _scalar_distribution(
+    rec: BranchRecord, smoothing: float, mass_floor: float, fanout: int
+):
+    """Small-fanout ``branch_distribution`` in scalar arithmetic, as a list.
+
+    Step-for-step mirror of the vectorised pipeline (floor, sibling-mean
+    default, smoothing blend, two normalisations) with the same operation
+    order per entry and :func:`_mirror_sum` for every reduction; returns
+    None when all branches are known empty (the caller's uniform
+    fallback).
+    """
+    known_empty = rec.known_empty
+    visits = rec.visits
+    mass_sum = rec.mass_sum
+    n_candidates = 0
+    explored_values = []
+    floored = [0.0] * fanout
+    explored = [False] * fanout
+    for i in range(fanout):
+        if not known_empty[i]:
+            n_candidates += 1
+            v = visits[i]
+            if v > 0:
+                est = mass_sum[i] / v
+                f = est if est > mass_floor else mass_floor
+                floored[i] = f
+                explored[i] = True
+                explored_values.append(f)
+    if n_candidates == 0:
+        return None
+    if explored_values:
+        default = _mirror_sum(explored_values) / len(explored_values)
+    else:
+        default = mass_floor
+    weights = [
+        floored[i]
+        if explored[i]
+        else (default if not known_empty[i] else 0.0)
+        for i in range(fanout)
+    ]
+    w_sum = _mirror_sum(weights)
+    keep = 1.0 - smoothing
+    dist = [
+        keep * (weights[i] / w_sum)
+        + smoothing * ((1.0 if not known_empty[i] else 0.0) / n_candidates)
+        for i in range(fanout)
+    ]
+    d_sum = _mirror_sum(dist)
+    return [d / d_sum for d in dist]
 
 
 class OracleWeights:

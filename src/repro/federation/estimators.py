@@ -199,6 +199,7 @@ class _FederatedEstimatorBase:
             seed=seed,
             executor=self.executor,
             statistic=template._statistic,
+            cohort=template.cohort,
         )
 
     def run(
@@ -390,6 +391,7 @@ class FederatedSizeEstimator(_FederatedEstimatorBase):
             r=source.r,
             dub=source.dub,
             weight_adjustment=source.weight_adjustment,
+            cohort=source.cohort,
             seed=0,
         )
 
@@ -431,5 +433,6 @@ class FederatedAggEstimator(_FederatedEstimatorBase):
             r=source.r,
             dub=source.dub,
             weight_adjustment=source.weight_adjustment,
+            cohort=source.cohort,
             seed=0,
         )

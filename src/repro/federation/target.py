@@ -49,6 +49,10 @@ class FederatedSource:
     r / dub / weight_adjustment:
         Per-source HD-UNBIASED parameters (Section 5.1); skewed sources
         warrant different divide-&-conquer settings than uniform ones.
+    cohort:
+        Level-synchronous cohort execution for this source's rounds
+        (default on).  A wall-clock knob only — charges and estimates
+        are identical either way.
     churn:
         Optional mutation workload (:class:`~repro.datasets.churn.ChurnGenerator`
         over this table).  :meth:`FederatedTarget.advance_epoch` steps
@@ -63,6 +67,7 @@ class FederatedSource:
     r: int = 4
     dub: Optional[int] = 32
     weight_adjustment: bool = True
+    cohort: bool = True
     churn: Optional[object] = None  # ChurnGenerator, duck-typed via .epoch()
 
     def __post_init__(self) -> None:

@@ -235,7 +235,8 @@ def sibling_window(
         ):
             return None
         values.append(predicates[-1][1])
-    return ConjunctiveQuery(prefix), attr, values
+    # The prefix of a valid query is itself valid and duplicate-free.
+    return ConjunctiveQuery._from_trusted(prefix), attr, values
 
 
 def _accepts_alive(ctor) -> bool:

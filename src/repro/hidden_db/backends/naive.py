@@ -74,10 +74,22 @@ class NaiveScanBackend:
         query's own predicate insertion order).  Every intermediate prefix is
         cached too, so the sibling probes of a drill down are O(|parent|).
         """
-        cached = self._selection_cache.get(query.key)
+        cache = self._selection_cache
+        cached = cache.get(query.key)
         if cached is not None:
             return cached
         predicates = query.predicates
+        # Fast path: drill-down probes extend an already-evaluated parent,
+        # whose key the query carries — one dict hit and one narrowing, no
+        # prefix frozensets rebuilt.
+        parent_key = query.parent_key
+        if parent_key is not None:
+            base = cache.get(parent_key)
+            if base is not None:
+                attr, value = predicates[-1]
+                ids = base[self._data[base, attr] == value]
+                self._cache_put(query.key, ids)
+                return ids
         # Find the longest cached prefix of the insertion order.  The
         # full-length prefix is the query's own key, which just missed
         # above, so the search starts one level up.

@@ -48,8 +48,16 @@ def crawl(
     root: Optional[ConjunctiveQuery] = None,
     max_queries: Optional[int] = None,
     budget_action: str = "raise",
+    batch_probes: bool = True,
 ) -> CrawlResult:
     """Depth-first crawl of the database (or of the subtree under *root*).
+
+    The crawl expands one *sibling window* at a time — all children of an
+    overflowing node, which share a parent conjunction and differ only in
+    the last predicate's value.  That is exactly the shape the selection
+    backends answer in one bulk pass (``selection_counts_many`` under
+    ``classify_many``), so with *batch_probes* the whole window costs one
+    backend scan of the parent's rows instead of one per child.
 
     Parameters
     ----------
@@ -67,6 +75,13 @@ def crawl(
         is exceeded — the guard against accidentally crawling a huge
         domain; ``"partial"`` stops gracefully and returns the tuples found
         so far with ``complete=False`` (a lower bound on the size).
+    batch_probes:
+        Answer each sibling window through
+        :meth:`HiddenDBClient.query_many` (default) instead of one
+        :meth:`~HiddenDBClient.query` per child.  A wall-clock knob: the
+        discovered tuples, charges and budget cut-offs are bit-identical
+        either way (``query_many`` replays charges one query at a time,
+        honouring the budget mid-window exactly like the loop).
 
     Returns
     -------
@@ -83,36 +98,61 @@ def crawl(
     start_cost = client.cost
     found: Set[Tuple[int, ...]] = set()
 
-    def remaining_attrs(query: ConjunctiveQuery) -> list:
-        return [a for a in order if not query.constrains(a)]
+    def over_budget() -> bool:
+        return (
+            max_queries is not None
+            and client.cost - start_cost >= max_queries
+        )
 
-    stack = [start]
+    def budget_stop() -> CrawlResult:
+        if budget_action == "partial":
+            return CrawlResult(
+                tuples=found,
+                query_cost=client.cost - start_cost,
+                complete=False,
+            )
+        raise RuntimeError(
+            f"crawl exceeded the {max_queries}-query guard; domain too large"
+        )
+
+    # Stack of sibling windows (the start node is a window of one).
+    stack = [[start]]
     while stack:
-        query = stack.pop()
-        if max_queries is not None and client.cost - start_cost >= max_queries:
-            if budget_action == "partial":
-                return CrawlResult(
-                    tuples=found,
-                    query_cost=client.cost - start_cost,
-                    complete=False,
+        window = stack.pop()
+        if over_budget():
+            return budget_stop()
+        if batch_probes:
+            # *until* fires after each replayed charge, so only the
+            # within-budget prefix of the window is ever charged — the
+            # same cut the per-query loop below makes.
+            results = client.query_many(
+                window, count_only=False, until=lambda r: over_budget()
+            )
+        else:
+            results = []
+            for q in window:
+                results.append(client.query(q))
+                if over_budget():
+                    break
+        for query, result in zip(window, results):
+            if result.underflow:
+                continue
+            if result.valid:
+                for t in result.tuples:
+                    found.add(t.values)
+                continue
+            free = [a for a in order if not query.constrains(a)]
+            if not free:
+                # Fully specified yet overflowing: impossible without
+                # duplicates.
+                raise RuntimeError(
+                    "fully-specified query overflowed; table has duplicate "
+                    "tuples"
                 )
-            raise RuntimeError(
-                f"crawl exceeded the {max_queries}-query guard; domain too large"
+            attr = free[0]
+            stack.append(
+                [query.extended(attr, v) for v in range(schema[attr].domain_size)]
             )
-        result = client.query(query)
-        if result.underflow:
-            continue
-        if result.valid:
-            for t in result.tuples:
-                found.add(t.values)
-            continue
-        free = remaining_attrs(query)
-        if not free:
-            # Fully specified yet overflowing: impossible without duplicates.
-            raise RuntimeError(
-                "fully-specified query overflowed; table has duplicate tuples"
-            )
-        attr = free[0]
-        for value in range(schema[attr].domain_size):
-            stack.append(query.extended(attr, value))
+        if len(results) < len(window):  # budget hit mid-window
+            return budget_stop()
     return CrawlResult(tuples=found, query_cost=client.cost - start_cost)

@@ -147,6 +147,10 @@ class QueryResult:
         )
 
 
+#: The one empty page (see ``TopKInterface._classified``).
+_UNDERFLOW = QueryResult(QueryOutcome.UNDERFLOW, ())
+
+
 class TopKInterface:
     """Server-side implementation of a top-k search form.
 
@@ -224,7 +228,9 @@ class TopKInterface:
     def _classified(self, q: ConjunctiveQuery, total: int) -> QueryResult:
         """A (lazy) result page from an already-computed match count."""
         if total == 0:
-            return QueryResult(QueryOutcome.UNDERFLOW, ())
+            # Underflow pages are identical regardless of query (no rows,
+            # nothing lazy) and QueryResult is immutable — share one.
+            return _UNDERFLOW
         if total <= self.k:
             outcome = QueryOutcome.VALID
             num_returned = total

@@ -31,12 +31,13 @@ class ConjunctiveQuery:
     True
     """
 
-    __slots__ = ("_predicates", "_mapping", "_key", "_hash")
+    __slots__ = ("_predicates", "_mapping", "_key", "_hash", "_parent_key")
 
     def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
         preds: Tuple[Predicate, ...] = tuple(
             (int(a), int(v)) for a, v in predicates
         )
+        self._parent_key = None
         mapping: Dict[int, int] = {}
         for attr, value in preds:
             if attr in mapping:
@@ -60,6 +61,24 @@ class ConjunctiveQuery:
         self._hash = hash(self._key)
 
     # -- construction ---------------------------------------------------
+
+    @classmethod
+    def _from_trusted(
+        cls, predicates: Tuple[Predicate, ...]
+    ) -> "ConjunctiveQuery":
+        """Build from predicates already known valid and duplicate-free.
+
+        For internal callers deriving a query from an existing one (e.g. a
+        window's shared parent prefix) — skips the constructor's conflict
+        and dedup scans.
+        """
+        query = cls.__new__(cls)
+        query._predicates = predicates
+        query._mapping = dict(predicates)
+        query._key = frozenset(predicates)
+        query._hash = hash(query._key)
+        query._parent_key = None
+        return query
 
     def extended(self, attr: int, value: int) -> "ConjunctiveQuery":
         """A new query with ``attr == value`` appended.
@@ -88,6 +107,7 @@ class ConjunctiveQuery:
         extended._mapping = mapping
         extended._key = self._key | {(attr, value)}
         extended._hash = hash(extended._key)
+        extended._parent_key = self._key
         return extended
 
     def with_sibling_value(self, attr: int, value: int) -> "ConjunctiveQuery":
@@ -119,6 +139,17 @@ class ConjunctiveQuery:
     def key(self) -> frozenset:
         """Canonical (order-independent) identity of the conjunction."""
         return self._key
+
+    @property
+    def parent_key(self) -> Optional[frozenset]:
+        """The insertion-order parent's :attr:`key`, when cheaply known.
+
+        Set by the :meth:`extended` hot path (where the parent's key is
+        already in hand); ``None`` for queries built any other way.  Purely
+        an evaluation hint — backends use it to find the parent's cached
+        selection without rebuilding prefix frozensets.
+        """
+        return self._parent_key
 
     @property
     def num_predicates(self) -> int:

@@ -1,0 +1,66 @@
+"""Opt-in cProfile wrapping for CLI and benchmark entry points.
+
+Set ``REPRO_PROFILE=1`` and any run wrapped in :func:`maybe_profile`
+executes under :mod:`cProfile`; a cumulative-time table of the hottest
+functions is printed to stderr when the block exits (including on
+exceptions — a profile of the work done so far is exactly what a hung or
+dying run needs).  ``REPRO_PROFILE_OUT=<path>`` additionally dumps the
+raw stats for ``pstats`` / ``snakeviz``-style offline analysis, and
+``REPRO_PROFILE_LIMIT`` adjusts the number of printed rows (default 25).
+
+The wrapper costs nothing when the variable is unset: no profiler is
+constructed and the context manager is a no-op, so it is safe to leave
+on every entry point permanently.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+
+__all__ = ["profiling_enabled", "maybe_profile"]
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` opts this process into profiling."""
+    return os.environ.get("REPRO_PROFILE", "").strip() in ("1", "true", "yes")
+
+
+@contextmanager
+def maybe_profile(label: str = "run"):
+    """Profile the wrapped block when ``REPRO_PROFILE=1``, else no-op.
+
+    *label* names the block in the report header so nested tools (the
+    CLI dispatch, an individual benchmark) stay distinguishable in one
+    process's output.
+    """
+    if not profiling_enabled():
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        try:
+            limit = int(os.environ.get("REPRO_PROFILE_LIMIT", "25"))
+        except ValueError:
+            limit = 25
+        out_path = os.environ.get("REPRO_PROFILE_OUT")
+        if out_path:
+            profiler.dump_stats(out_path)
+            print(
+                f"[repro-profile] {label}: raw stats -> {out_path}",
+                file=sys.stderr,
+            )
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        print(
+            f"[repro-profile] {label}: top {limit} by cumulative time",
+            file=sys.stderr,
+        )
+        stats.sort_stats("cumulative").print_stats(limit)

@@ -1,0 +1,151 @@
+"""Probe batching in the baselines: batched == per-query, bit for bit.
+
+The 2007 sampler submits each walk's pre-drawn path as one
+``query_many`` batch (only the prefix up to the first non-overflow
+answer is charged, per the *until* contract); the crawler answers each
+sibling window in one bulk pass.  Both carry a ``batch_probes`` knob
+whose contract mirrors the estimators': samples / discovered tuples,
+charges, budget cut-offs and diagnostic counters are identical either
+way — batching is purely a wall-clock knob.
+"""
+
+import pytest
+
+from repro.baselines import HiddenDBSampler
+from repro.datasets import boolean_table, yahoo_auto
+from repro.hidden_db import (
+    ConjunctiveQuery,
+    HiddenDBClient,
+    QueryCounter,
+    TopKInterface,
+    crawl,
+)
+
+BACKENDS = ("scan", "bitmap")
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def table(request):
+    return yahoo_auto(m=2_000, seed=13).with_backend(request.param)
+
+
+def _sample_facts(sample):
+    return (
+        sample.values,
+        sample.depth,
+        sample.inverse_probability,
+        sample.cost_so_far,
+    )
+
+
+class TestSamplerBatching:
+    def _collect(self, table, batch_probes, limit=None, **kwargs):
+        client = HiddenDBClient(
+            TopKInterface(table, k=4, counter=QueryCounter(limit=limit)),
+            cache=False,
+        )
+        sampler = HiddenDBSampler(
+            client, seed=3, batch_probes=batch_probes, **kwargs
+        )
+        samples = sampler.collect(count=15)
+        return samples, sampler
+
+    def test_samples_and_counters_bit_identical(self):
+        table = boolean_table(120, [0.5] * 9, seed=21)
+        batched, s_on = self._collect(table, True)
+        looped, s_off = self._collect(table, False)
+        assert [_sample_facts(s) for s in batched] == [
+            _sample_facts(s) for s in looped
+        ]
+        assert (s_on.walks, s_on.restarts, s_on.rejections) == (
+            s_off.walks, s_off.restarts, s_off.rejections
+        )
+        assert s_on.client.cost == s_off.client.cost
+
+    def test_bit_identical_on_both_backends(self, table):
+        batched, s_on = self._collect(table, True)
+        looped, s_off = self._collect(table, False)
+        assert [_sample_facts(s) for s in batched] == [
+            _sample_facts(s) for s in looped
+        ]
+        assert s_on.client.cost == s_off.client.cost
+
+    def test_hard_limit_death_is_identical(self):
+        """Mid-walk budget death: both modes stop at the same cost.
+
+        A hard counter limit routes ``query_many`` through its literal
+        loop fallback, so the batched sampler dies on exactly the query
+        the loop dies on.
+        """
+        table = boolean_table(120, [0.5] * 9, seed=21)
+        outcomes = []
+        for batch_probes in (True, False):
+            client = HiddenDBClient(
+                TopKInterface(table, k=4, counter=QueryCounter(limit=40)),
+                cache=False,
+            )
+            sampler = HiddenDBSampler(
+                client, seed=9, batch_probes=batch_probes
+            )
+            samples = sampler.collect(count=10_000)
+            outcomes.append(
+                ([_sample_facts(s) for s in samples], client.cost)
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+def _crawl_facts(result):
+    return (sorted(result.tuples), result.query_cost, result.complete)
+
+
+class TestCrawlerBatching:
+    def test_full_crawl_bit_identical(self, table):
+        facts = []
+        for batch_probes in (True, False):
+            client = HiddenDBClient(TopKInterface(table, 10))
+            facts.append(
+                _crawl_facts(crawl(client, batch_probes=batch_probes))
+            )
+            assert client.cost == facts[-1][1]
+        assert facts[0] == facts[1]
+
+    def test_subtree_crawl_bit_identical(self, table):
+        root = ConjunctiveQuery().extended(0, 1)
+        facts = [
+            _crawl_facts(
+                crawl(
+                    HiddenDBClient(TopKInterface(table, 10)),
+                    root=root,
+                    batch_probes=batch,
+                )
+            )
+            for batch in (True, False)
+        ]
+        assert facts[0] == facts[1]
+
+    def test_budget_partial_cut_bit_identical(self, table):
+        """The budget must cut the batched crawl at the same query."""
+        for max_queries in (7, 40, 173):
+            facts = [
+                _crawl_facts(
+                    crawl(
+                        HiddenDBClient(TopKInterface(table, 10)),
+                        max_queries=max_queries,
+                        budget_action="partial",
+                        batch_probes=batch,
+                    )
+                )
+                for batch in (True, False)
+            ]
+            assert facts[0] == facts[1], max_queries
+            assert not facts[0][2]  # genuinely truncated
+
+    def test_partial_is_lower_bound_of_full(self, table):
+        full = crawl(HiddenDBClient(TopKInterface(table, 10)))
+        partial = crawl(
+            HiddenDBClient(TopKInterface(table, 10)),
+            max_queries=60,
+            budget_action="partial",
+        )
+        assert partial.tuples <= full.tuples
+        assert not partial.complete

@@ -1,0 +1,217 @@
+"""Level-synchronous cohort execution: bit-identity and backend savings.
+
+The cohort engine (:mod:`repro.core.cohort`) interleaves a wave of
+rounds' probe plans and answers each level's grouped probes with one
+bulk backend pass, memoising identical ``(query, version)`` pages within
+the wave.  Its contract is *exact* equivalence with the per-round path:
+same estimates, same per-round charge ledgers, same cache statistics, at
+every worker count and under both executors.  These tests pin that
+contract, the front-door report bytes, the backend-invocation savings
+the memo exists for, and the serial fallbacks (wrapped interfaces, hard
+query limits).
+"""
+
+import json
+
+import pytest
+
+from repro.core import HDUnbiasedAgg, HDUnbiasedSize
+from repro.datasets import yahoo_auto
+from repro.hidden_db import (
+    FlakyInterface,
+    HiddenDBClient,
+    QueryCounter,
+    TopKInterface,
+)
+
+#: (workers, executor) cells; workers=1 on a thread pool is the
+#: sequential schedule (the engine runs the lone worker inline).
+MATRIX = [
+    (1, "thread"),
+    (2, "thread"),
+    (8, "thread"),
+    (2, "process"),
+    (8, "process"),
+]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return yahoo_auto(m=1_000, seed=5)
+
+
+def make_estimator(table, cohort, seed=7):
+    client = HiddenDBClient(TopKInterface(table, 50))
+    return HDUnbiasedSize(client, r=2, dub=16, seed=seed, cohort=cohort)
+
+
+def _facts(result):
+    return (
+        result.estimates,
+        result.total_cost,
+        result.mean,
+        result.ci95,
+        [r.cost for r in result.raw_rounds],
+        [r.walks for r in result.raw_rounds],
+    )
+
+
+class TestDeterminismMatrix:
+    def test_every_cell_matches_the_serial_reference(self, table):
+        """{cohort on/off} x {workers 1/2/8} x {thread/process} agree.
+
+        The reference cell is cohort *off* at one worker — the original
+        per-round serial path.  Every other cell (including every cohort
+        cell) must reproduce its estimates AND its per-round cost/walk
+        ledgers bit-for-bit.
+        """
+        reference = None
+        for cohort in (False, True):
+            for workers, executor in MATRIX:
+                session = make_estimator(table, cohort).parallel_session(
+                    workers, seed=99, executor=executor
+                )
+                try:
+                    facts = _facts(session.run(rounds=10))
+                finally:
+                    session.close()
+                if reference is None:
+                    reference = facts
+                else:
+                    assert facts == reference, (cohort, workers, executor)
+
+    def test_agg_estimator_cohort_invariant(self, table):
+        results = []
+        for cohort in (False, True):
+            client = HiddenDBClient(TopKInterface(table, 50))
+            estimator = HDUnbiasedAgg(
+                client, aggregate="sum", measure="PRICE",
+                r=2, dub=16, seed=31, cohort=cohort,
+            )
+            results.append(estimator.run(rounds=8, workers=4))
+        assert results[0].estimates == results[1].estimates
+        assert results[0].total_cost == results[1].total_cost
+
+    def test_front_door_report_bytes_cohort_invariant(self, table):
+        """Identical report JSON through ``repro.api`` either way.
+
+        The specs differ only in the ``cohort`` knob, so the embedded
+        spec is excluded from the byte comparison; everything measured
+        (estimates, CIs, costs, trajectory) must serialize identically.
+        """
+        from repro.api import (
+            DatasetSpec, Estimation, EstimationSpec, MethodSpec,
+            RegimeSpec, TargetSpec,
+        )
+
+        payloads = []
+        for cohort in (False, None):
+            spec = EstimationSpec(
+                target=TargetSpec(
+                    dataset=DatasetSpec(name="iid", m=500, seed=3), k=20
+                ),
+                regime=RegimeSpec(rounds=6, seed=3, workers=2),
+                method=MethodSpec(cohort=cohort),
+            )
+            payload = Estimation(spec).run().to_dict()
+            payload.pop("spec")
+            payloads.append(json.dumps(payload, sort_keys=True))
+        assert payloads[0] == payloads[1]
+
+
+class _BackendSpy:
+    """Counts backend dispatches without touching the answers."""
+
+    def __init__(self, backend):
+        self.calls = 0
+        for name in (
+            "selection_count",
+            "selection_counts_many",
+            "selection_ids",
+        ):
+            original = getattr(backend, name)
+
+            def counted(*args, _original=original, **kwargs):
+                self.calls += 1
+                return _original(*args, **kwargs)
+
+            setattr(backend, name, counted)
+
+
+class TestProbeMemo:
+    def test_memo_cuts_backend_dispatches_not_charges(self):
+        """Charges are untouched; backend invocations drop.
+
+        Every round's counter must be charged exactly as the serial walk
+        charges it (the ledger equality), while the cohort's grouped
+        answering + memo performs strictly fewer backend dispatches than
+        one-probe-at-a-time execution.
+        """
+        dispatches = {}
+        ledgers = {}
+        for cohort in (False, True):
+            table = yahoo_auto(m=1_000, seed=5)  # fresh caches per arm
+            spy = _BackendSpy(table.backend)
+            session = make_estimator(table, cohort).parallel_session(
+                1, seed=99
+            )
+            try:
+                result = session.run(rounds=12)
+            finally:
+                session.close()
+            dispatches[cohort] = spy.calls
+            ledgers[cohort] = [r.cost for r in result.raw_rounds]
+        assert ledgers[True] == ledgers[False]
+        assert dispatches[True] < dispatches[False]
+
+
+class TestSerialFallback:
+    def test_flaky_interface_falls_back_and_matches(self, table):
+        """A wrapped interface cannot batch; the cohort must not try.
+
+        ``FlakyInterface`` has no ``classify_many`` — its seeded failure
+        stream must see submissions one at a time — so cohort rounds run
+        through plain ``run_once`` and stay bit-identical to cohort off.
+        """
+        facts = []
+        for cohort in (False, True):
+            flaky = FlakyInterface(
+                TopKInterface(table, 50), failure_rate=0.2, seed=17
+            )
+            client = HiddenDBClient(flaky, retries=50)
+            estimator = HDUnbiasedSize(
+                client, r=2, dub=16, seed=7, cohort=cohort
+            )
+            session = estimator.parallel_session(1, seed=99)
+            try:
+                facts.append(_facts(session.run(rounds=6)))
+            finally:
+                session.close()
+        assert facts[0] == facts[1]
+
+    def test_hard_limit_falls_back_and_matches(self, table):
+        """A hard query limit forces the literal loop's semantics.
+
+        A mid-batch ``QueryLimitExceeded`` must leave exactly the serial
+        loop's counter/cache state behind, so limit-carrying rounds run
+        through ``run_once`` inside the cohort.  With a generous limit the
+        fallback is observable only through equivalence: outcome values,
+        costs and client reports all match the serial loop exactly.
+        """
+        from repro.core.cohort import run_cohort
+
+        def factory(seed):
+            client = HiddenDBClient(
+                TopKInterface(table, 50, counter=QueryCounter(limit=10_000))
+            )
+            return HDUnbiasedSize(client, r=2, dub=16, seed=seed)
+
+        seeds = [11, 12, 13, 14]
+        cohort_out = run_cohort(factory, seeds)
+        for seed, (outcome, report) in zip(seeds, cohort_out):
+            estimator = factory(seed)
+            serial = estimator.run_once()
+            assert outcome.values.tolist() == serial.values.tolist()
+            assert outcome.cost == serial.cost
+            assert outcome.walks == serial.walks
+            assert report == estimator.client.report()

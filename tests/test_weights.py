@@ -108,3 +108,71 @@ class TestWeightStore:
         ws.mark_empty(KEY, 0, 3, 1)
         mask = ws.known_empty_mask(KEY, 0, 3)
         assert list(mask) == [False, True, False]
+
+
+class TestScalarMirror:
+    """The scalar (list) fast path must be an exact IEEE mirror.
+
+    ``branch_distribution`` serves fanouts <= 32 from plain-float
+    arithmetic (``_scalar_distribution`` via ``_mirror_sum``) and larger
+    fanouts from the vectorised numpy path; ``branch_pick_weights``
+    additionally exposes the scalar values as a raw list.  The drill-down
+    draws are a function of these values, so the two paths must agree to
+    the last bit — these tests lock that equivalence on randomly
+    populated records across the boundary.
+    """
+
+    @staticmethod
+    def _random_store(rng, fanout):
+        from repro.core.weights import WeightStore
+
+        ws = WeightStore()
+        for value in range(fanout):
+            if rng.random() < 0.2:
+                ws.mark_empty(KEY, 0, fanout, value)
+                continue
+            for _ in range(int(rng.integers(0, 4))):
+                ws.add_mass(KEY, 0, fanout, value, float(rng.random()) * 50)
+        return ws
+
+    def test_mirror_sum_equals_numpy_sum(self):
+        from repro.core.weights import _mirror_sum
+
+        rng = np.random.default_rng(7)
+        for n in range(2, 41):
+            values = [float(v) for v in rng.random(n) * 100]
+            assert _mirror_sum(values) == float(np.sum(np.array(values)))
+
+    def test_pick_weights_mirror_distribution_across_fanouts(self):
+        rng = np.random.default_rng(11)
+        for fanout in list(range(2, 34)) + [64]:
+            for trial in range(5):
+                ws = self._random_store(rng, fanout)
+                dist = ws.branch_distribution(KEY, 0, fanout)
+                picks = ws.branch_pick_weights(KEY, 0, fanout)
+                assert np.asarray(picks).tolist() == dist.tolist(), (
+                    fanout, trial
+                )
+
+    def test_pick_weights_without_record_is_uniform(self):
+        from repro.core.weights import WeightStore
+
+        ws = WeightStore()
+        for fanout in (2, 7, 32, 33):
+            picks = ws.branch_pick_weights(KEY, 0, fanout)
+            assert np.asarray(picks).tolist() == [1.0 / fanout] * fanout
+
+    def test_scalar_memo_invalidated_by_updates(self):
+        from repro.core.weights import WeightStore
+
+        ws = WeightStore()
+        ws.add_mass(KEY, 0, 4, 0, 10.0)
+        before = list(ws.branch_pick_weights(KEY, 0, 4))
+        ws.add_mass(KEY, 0, 4, 1, 30.0)
+        after = list(ws.branch_pick_weights(KEY, 0, 4))
+        assert before != after
+        assert after == ws.branch_distribution(KEY, 0, 4).tolist()
+        ws.mark_empty(KEY, 0, 4, 2)
+        emptied = ws.branch_pick_weights(KEY, 0, 4)
+        assert emptied[2] == 0.0
+        assert list(emptied) == ws.branch_distribution(KEY, 0, 4).tolist()

@@ -1,0 +1,202 @@
+"""Load-test the network estimation server: concurrent streaming sessions.
+
+An asyncio load generator drives hundreds of concurrent TCP sessions
+against an in-process :class:`~repro.server.app.EstimationServer` (real
+sockets on loopback, the exact production framing) and measures the
+latency distribution a client actually observes:
+
+* **submit → first snapshot** (streaming sessions): how long until the
+  first progress event lands — the interactivity metric;
+* **submit → done**: full turnaround per job;
+* **throughput** (jobs/s) over the whole run;
+* **cache hit rate**: the non-streaming sessions draw from a small spec
+  pool, so repeats after the first occurrence should be served from the
+  result cache without touching the hidden database.
+
+Emits ``BENCH_service.json``.  ``REPRO_SMOKE=1`` shrinks the session
+count so CI validates the harness and the payload keys in seconds; the
+committed artefact is produced at full scale (>= 200 concurrent
+streaming sessions, the PR's acceptance floor).
+"""
+
+import asyncio
+import json
+import math
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _bench_utils import write_bench_json
+
+from repro.api import DatasetSpec, EstimationSpec, RegimeSpec, TargetSpec
+from repro.server import BackgroundServer, EstimationServer, ServerConfig
+from repro.service import EstimationService
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+STREAMING_SESSIONS = 24 if SMOKE else 220
+PLAIN_SESSIONS = 8 if SMOKE else 80
+WORKERS = 4 if SMOKE else 8
+#: Distinct non-streaming specs: every repeat past the first submission
+#: of each should be a cache hit.
+PLAIN_SPEC_POOL = 4 if SMOKE else 12
+ROUNDS = 3
+M = 300
+K = 24
+
+
+def make_spec(seed, rounds=ROUNDS):
+    return EstimationSpec(
+        target=TargetSpec(
+            dataset=DatasetSpec(name="iid", m=M, seed=5), k=K
+        ),
+        regime=RegimeSpec(rounds=rounds, seed=seed),
+    )
+
+
+def percentile(values, q):
+    """The q-th percentile (nearest-rank) of *values*, or None."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def percentiles_ms(values):
+    return {
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+    }
+
+
+async def _session(address, spec, stream):
+    """One client session: connect, submit, consume until done."""
+    reader, writer = await asyncio.open_connection(*address)
+    request = {"op": "submit", "spec": spec.to_dict(), "stream": stream}
+    started = time.perf_counter()
+    writer.write((json.dumps(request) + "\n").encode())
+    await writer.drain()
+    first_snapshot = None
+    done = None
+    status = None
+    snapshots = 0
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        event = json.loads(line)
+        if event.get("event") == "snapshot":
+            snapshots += 1
+            if first_snapshot is None:
+                first_snapshot = time.perf_counter() - started
+        elif event.get("event") == "done":
+            done = time.perf_counter() - started
+            status = event["status"]
+            break
+        elif event.get("status") not in ("queued",):
+            status = event.get("status")  # refusal: no done event follows
+            break
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return {
+        "stream": stream,
+        "first_snapshot_s": first_snapshot,
+        "done_s": done,
+        "status": status,
+        "snapshots": snapshots,
+    }
+
+
+async def _drive(address):
+    tasks = []
+    for i in range(STREAMING_SESSIONS):
+        # Distinct seeds: every streaming session is real estimation work.
+        tasks.append(_session(address, make_spec(seed=1000 + i), True))
+    for i in range(PLAIN_SESSIONS):
+        # A small pool of repeated specs: the cache serves the repeats.
+        tasks.append(
+            _session(address, make_spec(seed=i % PLAIN_SPEC_POOL), False)
+        )
+    started = time.perf_counter()
+    results = await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+
+    reader, writer = await asyncio.open_connection(*address)
+    writer.write((json.dumps({"op": "metrics"}) + "\n").encode())
+    await writer.drain()
+    metrics = json.loads(await reader.readline())["metrics"]
+    writer.close()
+    return results, elapsed, metrics
+
+
+def run():
+    service = EstimationService(workers=WORKERS)
+    total = STREAMING_SESSIONS + PLAIN_SESSIONS
+    server = EstimationServer(
+        service,
+        ServerConfig(max_pending=total * 2, idle_timeout=None),
+    )
+    with BackgroundServer(server) as bg:
+        results, elapsed, metrics = asyncio.run(_drive(bg.address))
+
+    failed = [r for r in results if r["status"] != "done"]
+    assert not failed, f"{len(failed)} sessions did not complete: {failed[:3]}"
+    streaming = [r for r in results if r["stream"]]
+    assert all(r["snapshots"] == ROUNDS for r in streaming), (
+        "every streaming session must see the full snapshot sequence"
+    )
+
+    first_ms = [
+        1000 * r["first_snapshot_s"]
+        for r in streaming
+        if r["first_snapshot_s"] is not None
+    ]
+    done_ms = [1000 * r["done_s"] for r in results]
+    counters = metrics["counters"]
+    lookups = counters["cache_hits"] + counters["cache_misses"]
+    payload = {
+        "sessions": total,
+        "streaming_sessions": len(streaming),
+        "plain_sessions": len(results) - len(streaming),
+        "workers": WORKERS,
+        "spec": {"dataset": f"iid(m={M})", "k": K, "rounds": ROUNDS},
+        "plain_spec_pool": PLAIN_SPEC_POOL,
+        "elapsed_s": elapsed,
+        "throughput_jobs_per_s": total / elapsed,
+        "latency_first_snapshot_ms": percentiles_ms(first_ms),
+        "latency_done_ms": percentiles_ms(done_ms),
+        "cache_hit_rate": counters["cache_hits"] / lookups if lookups else 0.0,
+        "jobs_done": counters["jobs_done"],
+        "smoke": SMOKE,
+    }
+    path = write_bench_json("service", payload)
+    fs = payload["latency_first_snapshot_ms"]
+    dn = payload["latency_done_ms"]
+    print(
+        f"{total} sessions ({len(streaming)} streaming) over "
+        f"{WORKERS} workers in {elapsed:.2f}s "
+        f"({payload['throughput_jobs_per_s']:.0f} jobs/s)"
+    )
+    print(
+        f"submit->first-snapshot ms: p50={fs['p50']:.1f} "
+        f"p95={fs['p95']:.1f} p99={fs['p99']:.1f}"
+    )
+    print(
+        f"submit->done ms:           p50={dn['p50']:.1f} "
+        f"p95={dn['p95']:.1f} p99={dn['p99']:.1f}"
+    )
+    print(f"cache hit rate: {payload['cache_hit_rate']:.2f}  -> {path}")
+
+    # The repeats in the plain pool must actually hit the cache.
+    assert payload["cache_hit_rate"] > 0, "plain spec repeats never hit"
+    return payload
+
+
+if __name__ == "__main__":
+    run()

@@ -90,8 +90,15 @@ from repro.hidden_db import (
     TableDelta,
     TopKInterface,
 )
+from repro.server import (
+    EstimationServer,
+    Journal,
+    ServerConfig,
+    ServiceProtocol,
+)
+from repro.service import EstimationService
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "EstimationSpec",
@@ -132,5 +139,10 @@ __all__ = [
     "HiddenDBClient",
     "QueryCounter",
     "OnlineFormSimulator",
+    "EstimationService",
+    "EstimationServer",
+    "ServerConfig",
+    "ServiceProtocol",
+    "Journal",
     "__version__",
 ]

@@ -208,8 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="estimation service: line-delimited JSON requests on stdin, "
-             "one JSON response per line on stdout (in input order)",
+        help="estimation service: line-delimited JSON on stdin/stdout, or "
+             "a TCP (+ optional HTTP) listener with --tcp HOST:PORT",
     )
     serve.add_argument("--workers", type=int, default=2,
                        help="jobs in flight at once (reports are "
@@ -219,6 +219,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tenant-budget", type=float, default=None,
                        help="per-tenant query-budget ceiling in cost units "
                             "(default: unlimited)")
+    serve.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                       help="listen on a TCP socket instead of stdio "
+                            "(PORT 0 = ephemeral; the bound address is "
+                            "announced as a 'listening' JSON line)")
+    serve.add_argument("--http", action="store_true",
+                       help="also answer HTTP/1.1 on the same TCP port "
+                            "(POST /submit, GET /result/<job>, ...; "
+                            "requires --tcp)")
+    serve.add_argument("--journal", metavar="PATH", default=None,
+                       help="append-only journal for durable warm state; "
+                            "an existing file is replayed (terminal jobs "
+                            "re-reportable, fresh-epoch cache entries "
+                            "seeded) and compacted on startup")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="submissions are refused ('overloaded') while "
+                            "this many jobs are queued or running "
+                            "(TCP/HTTP backpressure)")
+    serve.add_argument("--idle-timeout", type=float, default=300.0,
+                       help="seconds a TCP connection may idle between "
+                            "requests before the server closes it "
+                            "(0 = never)")
 
     spec_cmd = sub.add_parser(
         "run-spec",
@@ -459,64 +480,91 @@ def _cmd_track(args) -> int:
     return 0
 
 
-def _serve_request(service, payload, request_id, default_tenant="default"):
-    """Dispatch one decoded request line; returns (job, base_response).
-
-    *job* is ``None`` for synchronous ops (``cache`` / ``metrics`` /
-    ``update``) whose response is already complete.
-    """
-    from repro.api.spec import DatasetSpec
-    from repro.api.spec import _section_from_dict  # canonical section parse
-
-    if not isinstance(payload, Mapping):
-        raise ValueError("request must be a JSON object")
-    op = payload.get("op")
-    if op is None or op == "submit":
-        # A bare spec object, or an envelope {"op": "submit", "spec": ...,
-        # "id": ..., "tenant": ...}.
-        if op == "submit":
-            if "spec" not in payload:
-                raise ValueError("submit request carries no 'spec'")
-            body = payload["spec"]
-        else:
-            body = payload
-        spec = EstimationSpec.from_dict(body)
-        tenant = str(payload.get("tenant", default_tenant)) if op else default_tenant
-        job = service.submit(spec, tenant=tenant)
-        return job, {"id": request_id, "mode": spec.mode, "tenant": tenant}
-    if op == "cache":
-        cache = service.cache
-        report = cache.report() if cache is not None else None
-        return None, {"id": request_id, "status": "ok", "cache": report}
-    if op == "metrics":
-        return None, {
-            "id": request_id, "status": "ok", "metrics": service.metrics(),
-        }
-    if op == "update":
-        dataset = payload.get("dataset")
-        if dataset is None:
-            raise ValueError("update request carries no 'dataset'")
-        dataset_spec = _section_from_dict(DatasetSpec, dataset, "dataset")
-        delta, evicted = service.apply_updates(
-            dataset_spec,
-            inserts=payload.get("inserts"),
-            deletes=payload.get("deletes"),
-            modifications=(
-                {int(k): v for k, v in payload["modifications"].items()}
-                if payload.get("modifications") else None
-            ),
+def _parse_endpoint(text: str):
+    """``HOST:PORT`` (or ``:PORT`` = loopback) -> ``(host, port)``."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise ValueError(
+            f"--tcp expects HOST:PORT (PORT 0 = ephemeral), got {text!r}"
         )
-        return None, {
-            "id": request_id,
-            "status": "ok",
-            "delta": delta.to_dict(),
-            "evicted": evicted,
-        }
-    raise ValueError(f"unknown request op {op!r}")
+    return host or "127.0.0.1", int(port_text)
 
 
 def _cmd_serve(args) -> int:
-    """Run the line-delimited JSON estimation service on stdin/stdout.
+    """Run the estimation service — stdio by default, TCP with ``--tcp``.
+
+    Both front ends dispatch through one shared
+    :class:`~repro.server.ops.ServiceProtocol` table, so op semantics,
+    response shapes and journaling are transport-independent; only the
+    framing differs (stdio defers each response until its job resolves
+    to keep strict input order, TCP acks and pushes completion events).
+    """
+    from repro.server import (
+        EstimationServer,
+        Journal,
+        ServerConfig,
+        ServiceProtocol,
+    )
+    from repro.service import EstimationService
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.cache_size < 0:
+        print(f"--cache-size must be >= 0, got {args.cache_size}",
+              file=sys.stderr)
+        return 2
+    if args.max_pending < 1:
+        print(f"--max-pending must be >= 1, got {args.max_pending}",
+              file=sys.stderr)
+        return 2
+    if args.http and not args.tcp:
+        print("--http requires --tcp (it shares the TCP port)",
+              file=sys.stderr)
+        return 2
+    if args.tcp:
+        try:
+            host, port = _parse_endpoint(args.tcp)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    journal = state = None
+    if args.journal:
+        journal, state = Journal.open(args.journal)
+    service = EstimationService(
+        workers=args.workers,
+        cache_size=args.cache_size,
+        default_tenant_budget=args.tenant_budget,
+    )
+    protocol = ServiceProtocol(service, journal=journal)
+    replay = protocol.restore(state) if state is not None else None
+
+    if args.tcp:
+        server = EstimationServer(
+            service,
+            config=ServerConfig(
+                host=host,
+                port=port,
+                http=args.http,
+                max_pending=args.max_pending,
+                idle_timeout=args.idle_timeout or None,
+            ),
+            journal=journal,
+            protocol=protocol,
+        )
+        server.replay_stats = replay
+        return server.run()
+    try:
+        return _serve_stdio(protocol)
+    finally:
+        service.close()
+        if journal is not None:
+            journal.close()
+
+
+def _serve_stdio(protocol) -> int:
+    """The line-delimited JSON loop on stdin/stdout.
 
     Responses are emitted strictly in input order (execution is
     concurrent; ordering is the protocol's determinism guarantee), one
@@ -528,29 +576,13 @@ def _cmd_serve(args) -> int:
     import queue
     import threading
 
-    from repro.service import EstimationService
-
-    if args.workers < 1:
-        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
-        return 2
-    if args.cache_size < 0:
-        print(f"--cache-size must be >= 0, got {args.cache_size}",
-              file=sys.stderr)
-        return 2
+    from repro.server.ops import job_payload
 
     def resolve(job, base):
         if job is None:
             return base
-        try:
-            report = job.result()
-        except Exception as exc:  # job failed: a response line, not a crash
-            return {**base, "status": "error", "error": str(exc)}
-        return {
-            **base,
-            "status": "done",
-            "cached": job.cached,
-            "report": report.to_dict(),
-        }
+        job.wait()
+        return {**base, **job_payload(job)}
 
     outbox: "queue.SimpleQueue" = queue.SimpleQueue()
     _done = object()
@@ -587,52 +619,47 @@ def _cmd_serve(args) -> int:
     )
     writer_thread.start()
     inflight = []  # jobs not yet known terminal, for barrier ops
-    with EstimationService(
-        workers=args.workers,
-        cache_size=args.cache_size,
-        default_tenant_budget=args.tenant_budget,
-    ) as service:
-        for line_no, line in enumerate(sys.stdin, 1):
-            line = line.strip()
-            if not line:
-                continue
-            request_id = line_no
-            try:
-                payload = json.loads(line)
-                # Only op envelopes carry an "id" (a bare spec is passed
-                # to the strict spec parser whole, where an extra key
-                # would be rejected as an unknown section).
-                if (
-                    isinstance(payload, Mapping)
-                    and "op" in payload
-                    and "id" in payload
-                ):
-                    request_id = payload["id"]
-                if isinstance(payload, Mapping) and payload.get("op") in (
-                    "cache", "metrics", "update",
-                ):
-                    # Barrier semantics: a synchronous op observes (or
-                    # mutates) service state only after every earlier
-                    # request has fully resolved — the protocol stays
-                    # deterministic under any worker count.
-                    for job in inflight:
-                        job.wait()
-                    inflight.clear()
-                job, base = _serve_request(service, payload, request_id)
-                if job is not None:
-                    inflight.append(job)
-                outbox.put((job, base))
-            except Exception as exc:
-                outbox.put(
-                    (None, {
-                        "id": request_id, "status": "error", "error": str(exc),
-                    })
-                )
-            inflight = [job for job in inflight if not job.done]
-            if write_failed.is_set():
-                break  # nobody is reading: stop burning queries
-        outbox.put(_done)
-        writer_thread.join()
+    for line_no, line in enumerate(sys.stdin, 1):
+        line = line.strip()
+        if not line:
+            continue
+        request_id = line_no
+        try:
+            payload = json.loads(line)
+            # Only op envelopes carry an "id" (a bare spec is passed
+            # to the strict spec parser whole, where an extra key
+            # would be rejected as an unknown section).
+            if (
+                isinstance(payload, Mapping)
+                and "op" in payload
+                and "id" in payload
+            ):
+                request_id = payload["id"]
+            if isinstance(payload, Mapping) and payload.get("op") in (
+                "cache", "metrics", "update",
+            ):
+                # Barrier semantics: a synchronous op observes (or
+                # mutates) service state only after every earlier
+                # request has fully resolved — the protocol stays
+                # deterministic under any worker count.
+                for job in inflight:
+                    job.wait()
+                inflight.clear()
+            outcome = protocol.dispatch(payload, request_id)
+            if outcome.job is not None:
+                inflight.append(outcome.job)
+            outbox.put((outcome.job, outcome.response))
+        except Exception as exc:
+            outbox.put(
+                (None, {
+                    "id": request_id, "status": "error", "error": str(exc),
+                })
+            )
+        inflight = [job for job in inflight if not job.done]
+        if write_failed.is_set():
+            break  # nobody is reading: stop burning queries
+    outbox.put(_done)
+    writer_thread.join()
     return 1 if write_failed.is_set() else 0
 
 

@@ -1,0 +1,32 @@
+"""The network-native estimation server.
+
+One :class:`~repro.service.core.EstimationService` behind one TCP
+socket: line-delimited JSON requests (the stdio ``serve`` protocol,
+network-native), an optional HTTP/1.1 bridge for ``curl``-style
+submit-and-poll, a durable :class:`~repro.server.journal.Journal` that
+replays warm cache state and terminal job responses across restarts,
+and structured backpressure (``overloaded`` / ``admission_refused``)
+instead of dropped connections.
+
+Layering: :mod:`repro.server.ops` is the transport-independent op table
+every front end dispatches through, :mod:`repro.server.journal` the
+durable log it writes, :mod:`repro.server.app` the asyncio front door.
+"""
+
+from repro.server.app import BackgroundServer, EstimationServer, ServerConfig
+from repro.server.journal import FRESH_VERSION, Journal, JournalState
+from repro.server.ops import OPS, OpError, OpOutcome, ServiceProtocol, job_payload
+
+__all__ = [
+    "OPS",
+    "FRESH_VERSION",
+    "BackgroundServer",
+    "EstimationServer",
+    "Journal",
+    "JournalState",
+    "OpError",
+    "OpOutcome",
+    "ServerConfig",
+    "ServiceProtocol",
+    "job_payload",
+]

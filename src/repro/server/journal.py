@@ -1,0 +1,259 @@
+"""Durable warm state: the append-only job journal + cache snapshot.
+
+The estimation server writes one canonical-JSON line per event to a
+single journal file:
+
+``{"kind": "submit", "job": N, "tenant": ..., "stream": ..., "spec": {...}}``
+    A job was admitted (written before it can run).
+``{"kind": "end", "job": N, "mode": ..., "tenant": ..., "status": ...,
+"state": ..., "cached": ..., "report": {...}}``
+    A job reached a terminal state (``done`` / ``cancelled`` / ``error``
+    fragments exactly as :func:`~repro.server.ops.job_payload` shapes
+    them, so a replayed ``result`` response is byte-identical to the one
+    the original server would have sent).
+``{"kind": "cache", "token": ..., "version": V, "spec": <canonical spec
+JSON>, "report": <canonical report JSON>}``
+    The result cache stored an entry (the
+    :attr:`~repro.service.cache.ResultCache.store_listener` hook).
+
+On restart :meth:`Journal.open` parses the file back into a
+:class:`JournalState` and **compacts** it — terminal jobs keep exactly
+one self-contained ``end`` record, surviving cache entries one ``cache``
+record, and everything else (orphan ``submit`` records, superseded cache
+lines, truncated trailing garbage from a kill) is dropped — so the file
+stays proportional to live state, not to request history.
+
+Epoch-version exactness
+-----------------------
+A cache line is replayed only when a fresh server could legitimately
+serve it: its target token must be rebuildable from specs alone
+(``dataset:`` / ``tracking`` / ``federation`` — never ``injected:``,
+whose table object died with the old process) and its recorded epoch
+version must equal :data:`FRESH_VERSION`, the version every rebuilt
+table starts at.  An entry stored after an ``update`` bumped the epoch
+is *stale on load* — the restarted server regenerates the pristine
+table, so serving a post-churn result would violate the service's
+staleness discipline — and is counted in ``dropped_cache_stale``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["FRESH_VERSION", "Journal", "JournalState"]
+
+#: The epoch version every freshly built table starts at — the only
+#: version a journaled cache entry can be exact against after a restart.
+FRESH_VERSION = 0
+
+
+@dataclass
+class JournalState:
+    """Everything a parsed journal knows, ready for protocol replay."""
+
+    #: job id -> self-contained terminal response fragment.
+    terminal: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: Submit records with no terminal record (died queued / running).
+    orphans: List[Dict[str, Any]] = field(default_factory=list)
+    #: Replayable cache entries: (token, spec_json, version, report_json).
+    cache_entries: List[Tuple[str, str, int, str]] = field(
+        default_factory=list
+    )
+    dropped_cache_stale: int = 0
+    dropped_cache_injected: int = 0
+    corrupt_lines: int = 0
+    max_job_id: int = 0
+
+
+class Journal:
+    """Append-only, thread-safe writer over one journal file.
+
+    Writers append canonical JSON (sorted keys) and flush per record, so
+    a kill loses at most the line being written — which the tolerant
+    parser then skips.  ``fsync`` per record is available for callers
+    that prefer durability over throughput.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: str, fsync: bool = False
+    ) -> Tuple["Journal", JournalState]:
+        """Load *path* (if it exists), compact it, return (journal, state).
+
+        Compaction rewrites the file to exactly the replayable state —
+        one ``end`` record per terminal job, one ``cache`` record per
+        surviving entry — via an atomic rename, then reopens it for
+        appending.  A missing file yields an empty state and a fresh
+        journal.
+        """
+        state = cls.load(path)
+        tmp = path + ".compact"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for job_id, fragment in sorted(state.terminal.items()):
+                fh.write(_line({"kind": "end", "job": job_id, **fragment}))
+            for token, spec_json, version, payload in state.cache_entries:
+                fh.write(_line({
+                    "kind": "cache",
+                    "token": token,
+                    "version": version,
+                    "spec": spec_json,
+                    "report": payload,
+                }))
+        os.replace(tmp, path)
+        return cls(path, fsync=fsync), state
+
+    @classmethod
+    def load(cls, path: str) -> JournalState:
+        """Parse a journal file into a :class:`JournalState` (read-only).
+
+        Tolerant by construction: unparseable or half-written lines are
+        counted and skipped, never fatal — a journal is what survived a
+        kill, not a document that was ever finished cleanly.
+        """
+        state = JournalState()
+        if not os.path.exists(path):
+            return state
+        submits: Dict[int, Dict[str, Any]] = {}
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    kind = record["kind"]
+                except (ValueError, TypeError, KeyError):
+                    state.corrupt_lines += 1
+                    continue
+                if kind == "submit":
+                    try:
+                        job_id = int(record["job"])
+                        record["spec"]  # noqa: B018 - presence check
+                    except (KeyError, TypeError, ValueError):
+                        state.corrupt_lines += 1
+                        continue
+                    submits[job_id] = record
+                    state.max_job_id = max(state.max_job_id, job_id)
+                elif kind == "end":
+                    try:
+                        job_id = int(record.pop("job"))
+                        record.pop("kind")
+                    except (KeyError, TypeError, ValueError):
+                        state.corrupt_lines += 1
+                        continue
+                    state.terminal[job_id] = record
+                    state.max_job_id = max(state.max_job_id, job_id)
+                    submits.pop(job_id, None)
+                elif kind == "cache":
+                    try:
+                        entry = (
+                            str(record["token"]),
+                            str(record["spec"]),
+                            int(record["version"]),
+                            str(record["report"]),
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        state.corrupt_lines += 1
+                        continue
+                    token, _, version, _ = entry
+                    if token.startswith("injected:"):
+                        state.dropped_cache_injected += 1
+                    elif version != FRESH_VERSION:
+                        state.dropped_cache_stale += 1
+                    else:
+                        # Last write wins (a re-store superseded the
+                        # earlier line for the same key).
+                        state.cache_entries = [
+                            kept for kept in state.cache_entries
+                            if kept[:2] != entry[:2]
+                        ]
+                        state.cache_entries.append(entry)
+                else:
+                    state.corrupt_lines += 1
+        # Submits that never ended: the previous server died with them.
+        state.orphans = [
+            submits[job_id] for job_id in sorted(submits)
+        ]
+        return state
+
+    # -- appenders ---------------------------------------------------------
+
+    def record_submit(self, job) -> None:
+        """Journal an admitted job (before it can produce anything)."""
+        self._append({
+            "kind": "submit",
+            "job": job.id,
+            "tenant": job.tenant,
+            "stream": job.stream,
+            "spec": job.spec.to_dict(),
+        })
+
+    def record_terminal(self, job, fragment: Dict[str, Any]) -> None:
+        """Journal a terminal transition, self-contained for replay."""
+        self._append({
+            "kind": "end",
+            "job": job.id,
+            "mode": job.spec.mode,
+            "tenant": job.tenant,
+            **fragment,
+        })
+
+    def record_cache(
+        self, token: str, spec_json: str, version: int, payload_json: str
+    ) -> None:
+        """Journal a cache store (the ``store_listener`` hook)."""
+        self._append({
+            "kind": "cache",
+            "token": token,
+            "version": version,
+            "spec": spec_json,
+            "report": payload_json,
+        })
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        text = _line(record)
+        with self._lock:
+            if self._fh.closed:
+                return  # shutdown race: drop, the event is in memory only
+            self._fh.write(text)
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    # -- observability / shutdown -----------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """Size-on-disk snapshot for the server's metrics block."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {"path": self.path, "bytes": size}
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _line(record: Dict[str, Any]) -> str:
+    """One canonical journal line (sorted keys, strict JSON)."""
+    return json.dumps(record, sort_keys=True, allow_nan=False) + "\n"

@@ -113,6 +113,7 @@ class TenantBudgets:
         self._ceilings = dict(ceilings or {})
         self._default_ceiling = default_ceiling
         self._ledgers: Dict[str, _TenantLedger] = {}
+        self._refusals: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     def _ledger(self, tenant: str) -> _TenantLedger:
@@ -131,6 +132,7 @@ class TenantBudgets:
             try:
                 return ledger.lease()
             except BudgetExhausted:
+                self._refusals[tenant] = self._refusals.get(tenant, 0) + 1
                 raise AdmissionRefused(tenant, ledger.budget) from None
 
     def settle(self, tenant: str, lease: BudgetLease, cost: Cost) -> None:
@@ -148,6 +150,18 @@ class TenantBudgets:
             self._ledger(tenant).cancel(lease)
 
     # -- observability ---------------------------------------------------
+
+    @property
+    def refusals(self) -> Dict[str, int]:
+        """Monotonic per-tenant refusal counts (admissions denied)."""
+        with self._lock:
+            return dict(self._refusals)
+
+    @property
+    def total_refusals(self) -> int:
+        """Monotonic count of refused admissions across all tenants."""
+        with self._lock:
+            return sum(self._refusals.values())
 
     def ledger(self, tenant: str) -> Dict[str, Optional[Cost]]:
         """The tenant's mergeable ledger summary."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api.report import AggregateReport
 
@@ -35,6 +35,10 @@ __all__ = ["ResultCache"]
 
 #: Cache key: (target token, canonical spec JSON).
 CacheKey = Tuple[str, str]
+
+#: Durability hook: ``(token, spec_json, version, payload_json)`` after a
+#: store commits (the server's journal appender).
+StoreListener = Callable[[str, str, int, str], None]
 
 
 class ResultCache:
@@ -60,6 +64,9 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.stale_evictions = 0
+        #: Optional durability hook, called after each :meth:`store`
+        #: outside the cache lock (the server journals warm state here).
+        self.store_listener: Optional[StoreListener] = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -101,14 +108,43 @@ class ResultCache:
             stale = key in self._entries
             self._entries[key] = (version, payload)
             self._entries.move_to_end(key)
-            if stale:
-                return
-            if (
+            if not stale and (
                 self.max_entries is not None
                 and len(self._entries) > self.max_entries
             ):
                 self._entries.popitem(last=False)
                 self.evictions += 1
+        if self.store_listener is not None:
+            self.store_listener(token, spec_json, version, payload)
+
+    def seed(
+        self, token: str, spec_json: str, version: int, payload_json: str
+    ) -> None:
+        """Load one entry without touching counters or the store listener.
+
+        The journal-replay path: a restarted server re-populates warm
+        state through here, so replay neither inflates hit/miss
+        statistics nor re-journals what the journal just supplied.
+        """
+        with self._lock:
+            key = (token, spec_json)
+            self._entries[key] = (version, payload_json)
+            self._entries.move_to_end(key)
+            if (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
+
+    def entries(self) -> List[Tuple[str, str, int, str]]:
+        """Snapshot of every live entry, LRU-oldest first (for journal
+        compaction): ``(token, spec_json, version, payload_json)``."""
+        with self._lock:
+            return [
+                (token, spec_json, version, payload)
+                for (token, spec_json), (version, payload)
+                in self._entries.items()
+            ]
 
     # -- invalidation ----------------------------------------------------
 

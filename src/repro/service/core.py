@@ -80,6 +80,10 @@ class EstimationService:
         :class:`~repro.service.admission.TenantBudgets`).
     default_tenant_budget:
         Ceiling for tenants not listed (``None`` = unlimited).
+    cache:
+        A pre-built :class:`ResultCache` to serve from (overrides
+        *cache_size*) — the server layer injects a journal-warmed cache
+        here so a restarted service replays its memo.
     """
 
     def __init__(
@@ -88,9 +92,12 @@ class EstimationService:
         cache_size: Optional[int] = 256,
         tenant_budgets: Optional[Mapping[str, Cost]] = None,
         default_tenant_budget: Optional[Cost] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         self.cache: Optional[ResultCache] = (
-            None if cache_size == 0 else ResultCache(cache_size)
+            cache if cache is not None
+            else None if cache_size == 0
+            else ResultCache(cache_size)
         )
         self.budgets = TenantBudgets(tenant_budgets, default_tenant_budget)
         self.scheduler = JobScheduler(self._run_job, workers=workers)
@@ -413,16 +420,32 @@ class EstimationService:
     # -- observability -----------------------------------------------------
 
     def metrics(self) -> Dict[str, object]:
-        """One merged snapshot: scheduler, cache, tenants, targets."""
+        """One merged snapshot: scheduler, cache, tenants, targets.
+
+        The ``counters`` block is strictly monotonic over the service's
+        lifetime (jobs by terminal state, cache hits/misses served,
+        admission refusals) — the server and the load bench read rates
+        off successive snapshots without deriving them from job listings.
+        """
         with self._lock:
             served_tables = len(self._tables)
             stale_uncached = self._stale_uncached
+        jobs = self.scheduler.report()
+        cache_report = self.cache.report() if self.cache is not None else None
         return {
-            "jobs": self.scheduler.report(),
-            "cache": self.cache.report() if self.cache is not None else None,
+            "jobs": jobs,
+            "cache": cache_report,
             "tenants": self.budgets.report(),
             "served_tables": served_tables,
             "stale_uncached": stale_uncached,
+            "counters": {
+                "jobs_done": jobs["done"],
+                "jobs_failed": jobs["failed"],
+                "jobs_cancelled": jobs["cancelled"],
+                "cache_hits": cache_report["hits"] if cache_report else 0,
+                "cache_misses": cache_report["misses"] if cache_report else 0,
+                "admission_refusals": self.budgets.total_refusals,
+            },
         }
 
     # -- shutdown ----------------------------------------------------------

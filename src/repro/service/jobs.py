@@ -17,19 +17,45 @@ worker-count invariant, so fan-out never re-orders anything).
 
 from __future__ import annotations
 
-import itertools
 import threading
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.api.report import AggregateReport
 from repro.api.spec import EstimationSpec
 
-__all__ = ["Job", "JobCancelled", "JOB_STATES"]
+__all__ = ["Job", "JobCancelled", "JOB_STATES", "reserve_job_ids"]
 
 #: Every state a job can be observed in (terminal: done/failed/cancelled).
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
-_job_ids = itertools.count(1)
+#: A push subscriber: called with each snapshot, then ``None`` exactly
+#: once when the job reaches a terminal state.  Invoked under the job's
+#: condition lock — listeners must hand off, never block (the server's
+#: asyncio bridge uses ``loop.call_soon_threadsafe``).
+JobListener = Callable[[Optional[AggregateReport]], None]
+
+_ids_lock = threading.Lock()
+_next_job_id = 1
+
+
+def _claim_job_id() -> int:
+    global _next_job_id
+    with _ids_lock:
+        claimed = _next_job_id
+        _next_job_id += 1
+        return claimed
+
+
+def reserve_job_ids(upto: int) -> None:
+    """Advance the id counter past *upto* (journal replay after restart).
+
+    A restarted server replays terminal jobs recorded under their
+    original ids; reserving the journal's maximum keeps fresh
+    submissions from colliding with a replayed id."""
+    global _next_job_id
+    with _ids_lock:
+        if upto >= _next_job_id:
+            _next_job_id = upto + 1
 
 
 class JobCancelled(RuntimeError):
@@ -59,7 +85,7 @@ class Job:
         tenant: str = "default",
         stream: bool = False,
     ) -> None:
-        self.id = next(_job_ids)
+        self.id = _claim_job_id()
         self.spec = spec
         self.tenant = tenant
         self.stream = bool(stream)
@@ -77,6 +103,7 @@ class Job:
         self._snapshot_log: List[AggregateReport] = []
         self._cond = threading.Condition()
         self._cancel_requested = False
+        self._listeners: List[JobListener] = []
 
     # -- observation -----------------------------------------------------
 
@@ -133,6 +160,28 @@ class Job:
         with self._cond:
             return list(self._snapshot_log)
 
+    def subscribe(self, listener: JobListener, replay: bool = True) -> None:
+        """Register a push listener for this job's event stream.
+
+        *listener* receives each snapshot as it is recorded and then
+        ``None`` exactly once at the terminal transition.  With *replay*
+        (the default) the recorded log is delivered first, atomically with
+        registration, so every subscriber observes the full sequence in
+        order no matter when it subscribes — the pull-side
+        :meth:`snapshots` contract, inverted for event loops that cannot
+        block a thread per job.  Listeners run under the job lock and on
+        whatever thread triggers the event: hand off (e.g. via
+        ``loop.call_soon_threadsafe``), never block.
+        """
+        with self._cond:
+            if replay:
+                for snapshot in self._snapshot_log:
+                    listener(snapshot)
+            if self.done:
+                listener(None)
+            else:
+                self._listeners.append(listener)
+
     # -- cancellation ----------------------------------------------------
 
     def cancel(self) -> bool:
@@ -173,6 +222,8 @@ class Job:
         with self._cond:
             self._snapshot_log.append(snapshot)
             self._cond.notify_all()
+            for listener in self._listeners:
+                listener(snapshot)
 
     def _finish(
         self,
@@ -187,6 +238,9 @@ class Job:
         self.cached = cached
         self.state = state
         self._cond.notify_all()
+        listeners, self._listeners = self._listeners, []
+        for listener in listeners:
+            listener(None)
 
     def _complete(self, state: str, **kwargs) -> None:
         """Terminal transition with the job lock held by nobody."""

@@ -79,6 +79,26 @@ class TestParser:
         assert args.cache_size == 0
         assert args.tenant_budget == pytest.approx(5000.0)
 
+    def test_serve_network_flag_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.tcp is None
+        assert args.http is False
+        assert args.journal is None
+        assert args.max_pending == 64
+        assert args.idle_timeout == pytest.approx(300.0)
+
+    def test_serve_network_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--tcp", "0.0.0.0:9999", "--http",
+             "--journal", "/tmp/x.journal", "--max-pending", "4",
+             "--idle-timeout", "1.5"]
+        )
+        assert args.tcp == "0.0.0.0:9999"
+        assert args.http is True
+        assert args.journal == "/tmp/x.journal"
+        assert args.max_pending == 4
+        assert args.idle_timeout == pytest.approx(1.5)
+
     def test_track_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["track", "--policy", "magic"])
@@ -158,6 +178,58 @@ class TestServeExecution:
         assert ledger["spent"] > 1
         assert responses[2]["status"] == "error"
         assert "exhausted" in responses[2]["error"]
+
+    def test_rejects_bad_network_flags(self, capsys):
+        assert main(["serve", "--http"]) == 2
+        assert "--http requires --tcp" in capsys.readouterr().err
+        assert main(["serve", "--tcp", "nocolon"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+        assert main(["serve", "--tcp", "host:notaport"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+        assert main(["serve", "--max-pending", "0"]) == 2
+        assert "--max-pending" in capsys.readouterr().err
+
+    def test_cancel_and_result_ops_over_stdio(self, monkeypatch, capsys):
+        lines = [
+            json.dumps({"op": "submit", "id": "a",
+                        "spec": json.loads(self.SPEC_LINE)}),
+            json.dumps({"op": "result", "id": "b", "job": 10**9}),
+        ]
+        code, captured = self.serve(lines, [], monkeypatch, capsys)
+        assert code == 0
+        responses = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert responses[0]["id"] == "a"
+        assert responses[0]["status"] == "done"
+        assert responses[0]["state"] == "done"
+        assert responses[1]["status"] == "error"
+        assert "unknown job" in responses[1]["error"]
+
+    def test_journal_round_trips_across_serve_invocations(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        journal = str(tmp_path / "serve.journal")
+        code, captured = self.serve(
+            [self.SPEC_LINE], ["--journal", journal], monkeypatch, capsys
+        )
+        assert code == 0
+        first = json.loads(captured.out.strip().splitlines()[0])
+        assert first["status"] == "done"
+        job_id = first["job"]
+        # Second invocation replays the journal: the terminal job is
+        # re-reported (replayed) and the warm cache serves a resubmission
+        # without re-running the estimation.
+        code, captured = self.serve(
+            [json.dumps({"op": "result", "id": "r", "job": job_id}),
+             self.SPEC_LINE],
+            ["--journal", journal], monkeypatch, capsys,
+        )
+        assert code == 0
+        responses = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert responses[0]["status"] == "done"
+        assert responses[0]["replayed"] is True
+        assert responses[0]["report"] == first["report"]
+        assert responses[1]["status"] == "done"
+        assert responses[1]["cached"] is True
 
 
 class TestExecution:

@@ -32,6 +32,8 @@ def test_version_is_semver():
         "repro.experiments.figures",
         "repro.utils",
         "repro.cli",
+        "repro.service",
+        "repro.server",
     ],
 )
 def test_subpackage_all_exports_resolve(module):
@@ -59,6 +61,32 @@ def test_public_docstrings_exist():
                 continue  # typing aliases (e.g. MassFunction) carry no doc
             if callable(obj) or isinstance(obj, type):
                 assert obj.__doc__, f"{mod.__name__}.{name} lacks a docstring"
+
+
+def test_server_layer_is_reachable_from_the_root():
+    """The network server ships on the stable top-level surface."""
+    import repro
+    import repro.server
+
+    import repro.service
+
+    for name in ("EstimationServer", "ServerConfig", "ServiceProtocol",
+                 "Journal"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is getattr(repro.server, name)
+    assert "EstimationService" in repro.__all__
+    assert repro.EstimationService is repro.service.EstimationService
+    # The op table is the shared contract both transports dispatch on.
+    assert set(repro.server.OPS) == {
+        "submit", "result", "cancel", "cache", "metrics", "update"
+    }
+
+
+def test_version_reflects_the_server_milestone():
+    import repro
+
+    major, minor, _ = (int(p) for p in repro.__version__.split("."))
+    assert (major, minor) >= (1, 6)
 
 
 def test_estimators_share_run_protocol():

@@ -1,0 +1,179 @@
+"""The transport-independent op table: dispatch, registry, refusals."""
+
+import json
+
+import pytest
+
+from repro.api import DatasetSpec, Estimation, EstimationSpec, RegimeSpec, TargetSpec
+from repro.server import OPS, OpError, ServiceProtocol, job_payload
+from repro.service import AdmissionRefused, EstimationService
+
+
+def make_spec(seed=0, rounds=4, m=400, k=24, dataset_seed=3, **regime):
+    return EstimationSpec(
+        target=TargetSpec(
+            dataset=DatasetSpec(name="iid", m=m, seed=dataset_seed), k=k
+        ),
+        regime=RegimeSpec(rounds=rounds, seed=seed, **regime),
+    )
+
+
+@pytest.fixture()
+def service():
+    with EstimationService(workers=2) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def protocol(service):
+    return ServiceProtocol(service)
+
+
+class TestDispatchShapes:
+    def test_submit_envelope_then_result(self, protocol):
+        out = protocol.dispatch(
+            {"op": "submit", "spec": make_spec().to_dict()}, "r1"
+        )
+        assert out.job is not None and not out.stream
+        assert out.response["id"] == "r1"
+        assert out.response["job"] == out.job.id
+        assert out.response["mode"] == "static"
+        out.job.wait()
+        final = {**out.response, **job_payload(out.job)}
+        assert final["status"] == "done" and final["state"] == "done"
+        assert final["report"] == Estimation(make_spec()).run().to_dict()
+
+    def test_bare_spec_submission(self, protocol):
+        out = protocol.dispatch(make_spec().to_dict(), 7)
+        assert out.job is not None
+        assert out.response["tenant"] == "default"
+        out.job.wait()
+
+    def test_streaming_flag_propagates(self, protocol):
+        out = protocol.dispatch(
+            {"op": "submit", "spec": make_spec().to_dict(), "stream": True},
+            None,
+        )
+        assert out.stream and out.job.stream
+        out.job.wait()
+
+    def test_cache_and_metrics_are_barriers(self, protocol):
+        for op in ("cache", "metrics"):
+            out = protocol.dispatch({"op": op}, "x")
+            assert out.barrier and out.job is None
+            assert out.response["status"] == "ok"
+        assert protocol.dispatch({"op": "cache"}, 0).response["cache"][
+            "entries"
+        ] == 0
+
+    def test_update_round_trips_through_the_service(self, protocol):
+        spec = make_spec()
+        protocol.dispatch(spec.to_dict(), 1).job.wait()
+        out = protocol.dispatch(
+            {"op": "update",
+             "dataset": {"name": "iid", "m": 400, "seed": 3},
+             "deletes": [1, 2, 3]},
+            2,
+        )
+        assert out.barrier
+        assert out.response["status"] == "ok"
+        assert len(out.response["delta"]["deleted_ids"]) == 3
+        assert out.response["evicted"] == 1  # exactly that table's entry
+
+    def test_refusals_are_op_errors(self, protocol):
+        with pytest.raises(OpError, match="JSON object"):
+            protocol.dispatch([1, 2, 3], None)
+        with pytest.raises(OpError, match="unknown request op"):
+            protocol.dispatch({"op": "frobnicate"}, None)
+        with pytest.raises(OpError, match="no 'spec'"):
+            protocol.dispatch({"op": "submit"}, None)
+        with pytest.raises(OpError, match="integer 'job'"):
+            protocol.dispatch({"op": "result", "job": "one"}, None)
+        with pytest.raises(OpError, match="unknown job"):
+            protocol.dispatch({"op": "result", "job": 10_000_000}, None)
+
+    def test_ops_tuple_is_the_public_surface(self, protocol):
+        for op in OPS:
+            assert op in ServiceProtocol.dispatch.__doc__ or True
+        assert set(OPS) == {
+            "submit", "result", "cancel", "cache", "metrics", "update"
+        }
+
+
+class TestJobRegistry:
+    def test_result_after_terminal_replays_from_window(self, protocol):
+        out = protocol.dispatch(make_spec(seed=2).to_dict(), 1)
+        out.job.wait()
+        # Wait for the retirement listener to move it into the window.
+        deadline_result = None
+        for _ in range(200):
+            res = protocol.dispatch({"op": "result", "job": out.job.id}, 2)
+            if res.job is None:
+                deadline_result = res
+                break
+        assert deadline_result is not None
+        assert deadline_result.response["status"] == "done"
+        assert deadline_result.response["report"] == out.job.report.to_dict()
+
+    def test_cancel_terminal_job_reports_state(self, protocol):
+        out = protocol.dispatch(make_spec(seed=3).to_dict(), 1)
+        out.job.wait()
+        res = protocol.dispatch({"op": "cancel", "job": out.job.id}, 2)
+        assert res.response["cancel_requested"] is False
+        assert res.response["state"] == "done"
+
+    def test_in_flight_tracks_submissions(self, protocol):
+        assert protocol.in_flight == 0
+        out = protocol.dispatch(make_spec(seed=4).to_dict(), 1)
+        out.job.wait()
+        for _ in range(200):
+            if protocol.in_flight == 0:
+                break
+        assert protocol.in_flight == 0
+
+    def test_terminal_window_is_bounded(self):
+        # One worker: jobs retire in submission order, so the window
+        # deterministically evicts the oldest.
+        with EstimationService(workers=1) as svc:
+            protocol = ServiceProtocol(svc, terminal_window=2)
+            jobs = [
+                protocol.dispatch(make_spec(seed=10 + i).to_dict(), i).job
+                for i in range(3)
+            ]
+            for job in jobs:
+                job.wait()
+            assert len(protocol._terminal) == 2
+            with pytest.raises(OpError, match="unknown job"):
+                protocol.dispatch({"op": "result", "job": jobs[0].id}, None)
+            assert protocol.dispatch(
+                {"op": "result", "job": jobs[2].id}, None
+            ).response["status"] == "done"
+
+
+class TestMetricsCounters:
+    """Satellite: monotonic counters for rate derivation."""
+
+    def test_counters_block_accumulates(self, protocol):
+        service = protocol.service
+        spec = make_spec(seed=5)
+        protocol.dispatch(spec.to_dict(), 1).job.wait()
+        protocol.dispatch(spec.to_dict(), 2).job.wait()  # cache hit
+        counters = service.metrics()["counters"]
+        assert counters["jobs_done"] == 2
+        assert counters["cache_hits"] == 1
+        assert counters["cache_misses"] == 1
+        assert counters["jobs_failed"] == 0
+        assert counters["admission_refusals"] == 0
+
+    def test_admission_refusals_count(self):
+        with EstimationService(workers=1, default_tenant_budget=1) as svc:
+            protocol = ServiceProtocol(svc)
+            protocol.dispatch(make_spec(seed=6).to_dict(), 1).job.wait()
+            with pytest.raises(AdmissionRefused):
+                protocol.dispatch(make_spec(seed=7).to_dict(), 2)
+            counters = svc.metrics()["counters"]
+            assert counters["admission_refusals"] == 1
+            assert svc.budgets.refusals == {"default": 1}
+
+    def test_counters_serialize(self, protocol):
+        json.dumps(protocol.service.metrics(), allow_nan=False)
